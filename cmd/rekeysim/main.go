@@ -1,0 +1,360 @@
+// Command rekeysim regenerates the paper's evaluation figures.
+//
+// Usage:
+//
+//	rekeysim [flags] <experiment>
+//
+// Experiments: fig6..fig14 (the paper's figures), joincost (Sec. 3.1
+// message-cost analysis), ablation and packets (Sec. 2.5/2.6 design
+// arguments), loss (footnote-1 unicast recovery), gnp (Sec. 5
+// centralized assignment), congestion (concurrent rekey+data on shared
+// uplinks), all
+//
+// Each experiment prints tab-separated series matching the corresponding
+// figure of "Efficient Group Rekeying Using Application-Layer Multicast"
+// (Zhang, Lam, Liu; ICDCS 2005). The -scale flag shrinks group sizes and
+// run counts proportionally for quick exploration; -scale 1 is the
+// paper's full setting.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"tmesh/internal/assign"
+	"tmesh/internal/exp"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("rekeysim", flag.ContinueOnError)
+	var (
+		seed   = fs.Int64("seed", 1, "base random seed")
+		scale  = fs.Float64("scale", 1, "shrink factor: group sizes and runs are multiplied by this")
+		runs   = fs.Int("runs", 0, "override the per-figure default number of runs")
+		points = fs.Int("points", 20, "inverse-CDF points per curve")
+	)
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: rekeysim [flags] <fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14|joincost|ablation|packets|loss|gnp|congestion|all>\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 1 {
+		fs.Usage()
+		return 2
+	}
+	r := runner{seed: *seed, scale: *scale, runsOverride: *runs, points: *points}
+	if err := r.dispatch(fs.Arg(0)); err != nil {
+		fmt.Fprintln(os.Stderr, "rekeysim:", err)
+		return 1
+	}
+	return 0
+}
+
+type runner struct {
+	seed         int64
+	scale        float64
+	runsOverride int
+	points       int
+}
+
+func (r runner) n(full int) int {
+	v := int(float64(full) * r.scale)
+	if v < 4 {
+		v = 4
+	}
+	return v
+}
+
+func (r runner) runs(def int) int {
+	if r.runsOverride > 0 {
+		return r.runsOverride
+	}
+	v := int(float64(def) * r.scale)
+	if v < 1 {
+		v = 1
+	}
+	return v
+}
+
+func (r runner) dispatch(name string) error {
+	switch name {
+	case "fig6":
+		return r.latency("Fig 6: rekey path latency, PlanetLab, 226 joins",
+			exp.LatencyConfig{Topology: exp.PlanetLab, Joins: r.n(226), Runs: r.runs(100), Seed: r.seed, Points: r.points})
+	case "fig7":
+		return r.latency("Fig 7: rekey path latency, GT-ITM, 256 joins",
+			exp.LatencyConfig{Topology: exp.GTITM, Joins: r.n(256), Runs: r.runs(5), Seed: r.seed, Points: r.points})
+	case "fig8":
+		return r.latency("Fig 8: rekey path latency, GT-ITM, 1024 joins",
+			exp.LatencyConfig{Topology: exp.GTITM, Joins: r.n(1024), Runs: r.runs(3), Seed: r.seed, Points: r.points})
+	case "fig9":
+		return r.latency("Fig 9: data path latency, PlanetLab, 226 joins",
+			exp.LatencyConfig{Topology: exp.PlanetLab, Joins: r.n(226), Runs: r.runs(100), Seed: r.seed, DataTransport: true, Points: r.points})
+	case "fig10":
+		return r.latency("Fig 10: data path latency, GT-ITM, 256 joins",
+			exp.LatencyConfig{Topology: exp.GTITM, Joins: r.n(256), Runs: r.runs(5), Seed: r.seed, DataTransport: true, Points: r.points})
+	case "fig11":
+		return r.latency("Fig 11: data path latency, GT-ITM, 1024 joins",
+			exp.LatencyConfig{Topology: exp.GTITM, Joins: r.n(1024), Runs: r.runs(3), Seed: r.seed, DataTransport: true, Points: r.points})
+	case "fig12":
+		return r.fig12()
+	case "fig13":
+		return r.fig13()
+	case "fig14":
+		return r.fig14()
+	case "joincost":
+		return r.joinCost()
+	case "ablation":
+		return r.ablation()
+	case "packets":
+		return r.packets()
+	case "loss":
+		return r.loss()
+	case "gnp":
+		return r.gnp()
+	case "congestion":
+		return r.congestion()
+	case "all":
+		for _, f := range []string{"fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "joincost", "ablation", "packets", "loss", "gnp", "congestion"} {
+			if err := r.dispatch(f); err != nil {
+				return fmt.Errorf("%s: %w", f, err)
+			}
+			fmt.Println()
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown experiment %q", name)
+	}
+}
+
+func (r runner) latency(title string, cfg exp.LatencyConfig) error {
+	fmt.Println("#", title)
+	res, err := exp.RunLatency(cfg)
+	if err != nil {
+		return err
+	}
+	printLatency(res)
+	return nil
+}
+
+func printLatency(res *exp.LatencyResult) {
+	for _, s := range res.Series {
+		fmt.Printf("# %s\n", res.Headlines[s.Protocol])
+	}
+	fmt.Println("protocol\tfraction\tstress_mean\tstress_p95\tdelay_ms_mean\tdelay_ms_p95\trdp_mean\trdp_p95")
+	for _, s := range res.Series {
+		for i := range s.Stress {
+			fmt.Printf("%s\t%.3f\t%.2f\t%.2f\t%.2f\t%.2f\t%.2f\t%.2f\n",
+				s.Protocol, s.Stress[i].Fraction,
+				s.Stress[i].Mean, s.Stress[i].P95,
+				s.DelayMS[i].Mean, s.DelayMS[i].P95,
+				s.RDP[i].Mean, s.RDP[i].P95)
+		}
+	}
+}
+
+func (r runner) fig12() error {
+	n := r.n(1024)
+	step := n / 4
+	var grid []int
+	for v := 0; v <= n; v += step {
+		grid = append(grid, v)
+	}
+	fmt.Printf("# Fig 12: rekey cost vs (J, L), N=%d, modified / original / cluster-heuristic key trees\n", n)
+	cells, err := exp.RunRekeyCost(exp.RekeyCostConfig{
+		N: n, JValues: grid, LValues: grid, Runs: r.runs(20), Seed: r.seed,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Println("J\tL\tmodified\toriginal\tclustered\tmod_minus_orig\tclus_minus_orig")
+	for _, c := range cells {
+		fmt.Printf("%d\t%d\t%.1f\t%.1f\t%.1f\t%.1f\t%.1f\n",
+			c.J, c.L, c.Modified, c.Original, c.Clustered,
+			c.Modified-c.Original, c.Clustered-c.Original)
+	}
+	return nil
+}
+
+func (r runner) fig13() error {
+	n := r.n(1024)
+	churn := n / 4
+	fmt.Printf("# Fig 13: rekey bandwidth overhead, GT-ITM, N=%d + %d joins + %d leaves in one interval\n", n, churn, churn)
+	reports, err := exp.RunBandwidth(exp.BandwidthConfig{
+		N: n, ChurnJoins: churn, ChurnLeaves: churn, Seed: r.seed,
+	})
+	if err != nil {
+		return err
+	}
+	fracs := []float64{0.50, 0.90, 0.96, 0.99, 1.00}
+	header := []string{"protocol", "rekey_cost"}
+	for _, f := range fracs {
+		header = append(header,
+			fmt.Sprintf("recv@%.2f", f),
+			fmt.Sprintf("fwd@%.2f", f),
+			fmt.Sprintf("link@%.2f", f))
+	}
+	fmt.Println(strings.Join(header, "\t"))
+	for _, rep := range reports {
+		row := []string{string(rep.Protocol), fmt.Sprintf("%d", rep.RekeyCost)}
+		for _, f := range fracs {
+			row = append(row,
+				fmt.Sprintf("%.0f", rep.Received.AtFraction(f)),
+				fmt.Sprintf("%.0f", rep.Forwarded.AtFraction(f)),
+				fmt.Sprintf("%.0f", rep.PerLink.AtFraction(f)))
+		}
+		fmt.Println(strings.Join(row, "\t"))
+	}
+	return nil
+}
+
+func (r runner) fig14() error {
+	joins := r.n(226)
+	runs := r.runs(1)
+	fmt.Printf("# Fig 14: T-mesh rekey latency vs delay thresholds, PlanetLab, %d joins\n", joins)
+	out, err := exp.RunThresholdSweep(joins, runs, r.seed, nil)
+	if err != nil {
+		return err
+	}
+	names := make([]string, 0, len(out))
+	for name := range out {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fmt.Println("variant\tfraction\tdelay_ms_mean\trdp_mean")
+	for _, name := range names {
+		s := out[name].Series[0]
+		for i := range s.DelayMS {
+			fmt.Printf("%s\t%.3f\t%.2f\t%.2f\n", name, s.DelayMS[i].Fraction, s.DelayMS[i].Mean, s.RDP[i].Mean)
+		}
+	}
+	return nil
+}
+
+func (r runner) ablation() error {
+	n := r.n(512)
+	churn := n / 4
+	fmt.Printf("# Ablation (Sec 2.6): topology-aware vs scrambled host-to-ID mapping, N=%d, same key tree\n", n)
+	reports, err := exp.RunIDAblation(exp.AblationConfig{
+		N: n, ChurnJoins: churn, ChurnLeaves: churn, Seed: r.seed,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Println("policy\trekey_cost\trecv_mean\trecv_max\tlink_total\tlink_max\tmean_rdp\tdelay_p95_ms")
+	for _, rep := range reports {
+		fmt.Printf("%s\t%d\t%.1f\t%.0f\t%d\t%d\t%.2f\t%.1f\n",
+			rep.Policy, rep.RekeyCost, rep.Received.Mean(), rep.Received.Max(),
+			rep.LinkTotal, rep.LinkMax, rep.MeanRDP, rep.DelayP95MS)
+	}
+	return nil
+}
+
+func (r runner) packets() error {
+	n := r.n(512)
+	fmt.Printf("# Ablation (Sec 2.5): encryption-level vs packet-level splitting, N=%d, %d leaves\n", n, n/4)
+	points, err := exp.RunPacketSweep(exp.AblationConfig{
+		N: n, ChurnLeaves: n / 4, Seed: r.seed,
+	}, []int{2, 5, 10, 25, 50, 100})
+	if err != nil {
+		return err
+	}
+	fmt.Println("packet_size\trecv_mean\trecv_max")
+	for _, p := range points {
+		label := fmt.Sprintf("%d", p.PacketSize)
+		if p.PacketSize == 0 {
+			label = "per-encryption"
+		}
+		fmt.Printf("%s\t%.1f\t%.0f\n", label, p.MeanReceived, p.MaxReceived)
+	}
+	return nil
+}
+
+func (r runner) loss() error {
+	n := r.n(512)
+	fmt.Printf("# Unicast recovery under multicast loss (footnote 1 / [31]), N=%d, %d leaves\n", n, n/8)
+	points, err := exp.RunLossSweep(exp.AblationConfig{N: n, Seed: r.seed},
+		[]float64{0, 0.01, 0.02, 0.05, 0.10, 0.20})
+	if err != nil {
+		return err
+	}
+	fmt.Println("loss_rate\trecovered_frac\tserver_units\tunits_per_recovered\thops_dropped")
+	for _, p := range points {
+		fmt.Printf("%.2f\t%.3f\t%d\t%.1f\t%d\n",
+			p.LossRate, p.RecoveredFraction, p.ServerUnits, p.ServerUnitsPerRecovered, p.HopsDropped)
+	}
+	return nil
+}
+
+func (r runner) gnp() error {
+	joins := r.n(226)
+	fmt.Printf("# GNP centralized assignment vs distributed protocol (Sec 5), PlanetLab, %d joins\n", joins)
+	reports, err := exp.RunGNPComparison(joins, r.seed, assign.Config{})
+	if err != nil {
+		return err
+	}
+	fmt.Println("strategy\tjoin_msgs_mean\tjoin_msgs_p95\tjoin_probes_mean\tmedian_rdp\tdelay_p95_ms")
+	for _, rep := range reports {
+		fmt.Printf("%s\t%.1f\t%.1f\t%.1f\t%.2f\t%.1f\n",
+			rep.Strategy, rep.JoinMessages.Mean, rep.JoinMessages.P95,
+			rep.JoinProbes.Mean, rep.MedianRDP, rep.P95DelayMS)
+	}
+	return nil
+}
+
+func (r runner) congestion() error {
+	n := r.n(512)
+	fmt.Printf("# Concurrent rekey + data transport on 320 kbit/s uplinks, N=%d, %d leaves in the burst\n", n, n/4)
+	reports, err := exp.RunCongestion(exp.CongestionConfig{
+		N:                    n,
+		ChurnLeaves:          n / 4,
+		UplinkBytesPerSecond: 40000,
+		DataFrameUnits:       2,
+		Frames:               15,
+		FrameSpacing:         250 * time.Millisecond,
+		Seed:                 r.seed,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Println("scenario\tdata_p50_ms\tdata_p95_ms\tworst_frame_p95_ms\tdata_max_ms\trekey_done_ms")
+	for _, rep := range reports {
+		fmt.Printf("%s\t%.1f\t%.1f\t%.1f\t%.1f\t%.1f\n",
+			rep.Scenario, rep.DataDelayP50MS, rep.DataDelayP95MS,
+			rep.WorstFrameP95MS, rep.DataDelayMaxMS, rep.RekeyDurationMS)
+	}
+	return nil
+}
+
+func (r runner) joinCost() error {
+	sizes := []int{16, 32, 64, 128, 256, 512, 1024}
+	var scaled []int
+	for _, s := range sizes {
+		v := r.n(s)
+		if len(scaled) == 0 || v > scaled[len(scaled)-1] {
+			scaled = append(scaled, v)
+		}
+	}
+	fmt.Println("# Join cost: messages exchanged per join vs group size (Sec 3.1: O(P*D*N^(1/D)))")
+	points, err := exp.RunJoinCost(exp.JoinCostConfig{GroupSizes: scaled, Samples: 8, Seed: r.seed})
+	if err != nil {
+		return err
+	}
+	fmt.Println("N\tmessages_mean\tmessages_p95\tqueries_mean\tprobes_mean\tlatency_ms_mean\tlatency_ms_p95")
+	for _, p := range points {
+		fmt.Printf("%d\t%.1f\t%.1f\t%.1f\t%.1f\t%.1f\t%.1f\n",
+			p.N, p.Messages.Mean, p.Messages.P95, p.Queries.Mean, p.Probes.Mean,
+			p.LatencyMS.Mean, p.LatencyMS.P95)
+	}
+	return nil
+}

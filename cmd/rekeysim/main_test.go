@@ -1,0 +1,66 @@
+package main
+
+import (
+	"os"
+	"testing"
+)
+
+func TestRunArgHandling(t *testing.T) {
+	tests := []struct {
+		name string
+		args []string
+		want int
+	}{
+		{"no experiment", nil, 2},
+		{"unknown experiment", []string{"fig99"}, 1},
+		{"two experiments", []string{"fig6", "fig7"}, 2},
+		{"bad flag", []string{"-bogus", "fig6"}, 2},
+	}
+	// Silence usage output during the table run.
+	devnull, err := os.Open(os.DevNull)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer devnull.Close()
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := run(tt.args); got != tt.want {
+				t.Errorf("run(%v) = %d, want %d", tt.args, got, tt.want)
+			}
+		})
+	}
+}
+
+// TestRunTinyExperiments drives the cheapest experiments end to end
+// through the CLI path (scaled far down).
+func TestRunTinyExperiments(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI smoke test")
+	}
+	for _, exp := range []string{"joincost", "fig14"} {
+		if got := run([]string{"-scale", "0.02", "-points", "4", exp}); got != 0 {
+			t.Errorf("run(%s) = %d, want 0", exp, got)
+		}
+	}
+}
+
+func TestRunnerScaling(t *testing.T) {
+	r := runner{scale: 0.5}
+	if got := r.n(100); got != 50 {
+		t.Errorf("n(100) at 0.5 = %d, want 50", got)
+	}
+	if got := r.n(2); got != 4 {
+		t.Errorf("n floor = %d, want 4", got)
+	}
+	if got := r.runs(10); got != 5 {
+		t.Errorf("runs(10) = %d, want 5", got)
+	}
+	r = runner{scale: 0.01}
+	if got := r.runs(10); got != 1 {
+		t.Errorf("runs floor = %d, want 1", got)
+	}
+	r = runner{scale: 1, runsOverride: 3}
+	if got := r.runs(100); got != 3 {
+		t.Errorf("runs override = %d, want 3", got)
+	}
+}

@@ -1,0 +1,99 @@
+// Command topogen generates and inspects the simulation topologies: the
+// GT-ITM transit-stub router network and the synthetic PlanetLab RTT
+// matrix. It prints shape statistics and RTT distributions, useful for
+// validating a seed before running experiments on it.
+//
+// Usage:
+//
+//	topogen [-seed N] [-hosts N] <gtitm|planetlab>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"tmesh/internal/metrics"
+	"tmesh/internal/vnet"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("topogen", flag.ContinueOnError)
+	seed := fs.Int64("seed", 1, "random seed")
+	hosts := fs.Int("hosts", 227, "number of attached hosts")
+	fs.Usage = func() {
+		fmt.Fprintln(fs.Output(), "usage: topogen [flags] <gtitm|planetlab>")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 1 {
+		fs.Usage()
+		return 2
+	}
+	var err error
+	switch fs.Arg(0) {
+	case "gtitm":
+		err = describeGTITM(*hosts, *seed)
+	case "planetlab":
+		err = describePlanetLab(*hosts, *seed)
+	default:
+		fmt.Fprintf(os.Stderr, "topogen: unknown topology %q\n", fs.Arg(0))
+		return 2
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "topogen:", err)
+		return 1
+	}
+	return 0
+}
+
+func describeGTITM(hosts int, seed int64) error {
+	g, err := vnet.NewGTITM(vnet.DefaultGTITMConfig(), hosts, seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("GT-ITM transit-stub topology (seed %d)\n", seed)
+	fmt.Printf("  routers: %d\n  links:   %d\n  hosts:   %d\n", g.NumRouters(), g.NumLinks(), g.NumHosts())
+	printRTTs(g)
+	return nil
+}
+
+func describePlanetLab(hosts int, seed int64) error {
+	cfg := vnet.DefaultPlanetLabConfig()
+	cfg.Hosts = hosts
+	p, err := vnet.NewPlanetLab(cfg, seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("synthetic PlanetLab matrix (seed %d)\n", seed)
+	fmt.Printf("  hosts: %d\n", p.NumHosts())
+	counts := make(map[int]int)
+	for h := 0; h < p.NumHosts(); h++ {
+		counts[p.Continent(vnet.HostID(h))]++
+	}
+	for c := 0; c < 4; c++ {
+		fmt.Printf("  %-14s %d hosts\n", vnet.ContinentName(c), counts[c])
+	}
+	printRTTs(p)
+	return nil
+}
+
+func printRTTs(net vnet.Network) {
+	n := net.NumHosts()
+	var samples []float64
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			samples = append(samples, float64(net.RTT(vnet.HostID(i), vnet.HostID(j)).Microseconds())/1000)
+		}
+	}
+	d := metrics.NewDistribution(samples)
+	s := metrics.Summarize(d)
+	fmt.Printf("  host-to-host RTT (ms): median %.1f, mean %.1f, p90 %.1f, p95 %.1f, max %.1f\n",
+		s.Median, s.Mean, s.P90, s.P95, s.Max)
+}

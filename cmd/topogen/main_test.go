@@ -1,0 +1,38 @@
+package main
+
+import "testing"
+
+func TestRunArgHandling(t *testing.T) {
+	tests := []struct {
+		name string
+		args []string
+		want int
+	}{
+		{"no topology", nil, 2},
+		{"unknown topology", []string{"torus"}, 2},
+		{"bad flag", []string{"-bogus", "gtitm"}, 2},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := run(tt.args); got != tt.want {
+				t.Errorf("run(%v) = %d, want %d", tt.args, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestDescribeTopologies(t *testing.T) {
+	if testing.Short() {
+		t.Skip("topology generation")
+	}
+	if got := run([]string{"-hosts", "16", "planetlab"}); got != 0 {
+		t.Errorf("planetlab = %d, want 0", got)
+	}
+	if got := run([]string{"-hosts", "16", "gtitm"}); got != 0 {
+		t.Errorf("gtitm = %d, want 0", got)
+	}
+	// Invalid host count propagates as a runtime error.
+	if got := run([]string{"-hosts", "0", "gtitm"}); got != 1 {
+		t.Errorf("0 hosts = %d, want 1", got)
+	}
+}

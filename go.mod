@@ -1,0 +1,3 @@
+module tmesh
+
+go 1.22

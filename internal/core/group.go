@@ -1,0 +1,358 @@
+// Package core integrates the paper's components into a complete secure
+// group communication system: the key server (ID assignment, modified
+// key tree, batch rekeying), the users (neighbor tables, keyrings), and
+// the transport (T-mesh multicast with rekey message splitting).
+//
+// A Group is driven like the real system: users join (the distributed ID
+// assignment runs, the directory admits them), users leave, and at the
+// end of each rekey interval ProcessInterval generates the batch rekey
+// message, which DistributeRekey multicasts with the configured
+// splitting mode; every user's keyring is updated from exactly the
+// encryptions the splitting scheme delivered to it. Data transport
+// (group-key encrypted application multicast) runs concurrently over the
+// same neighbor tables.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"tmesh/internal/assign"
+	"tmesh/internal/cluster"
+	"tmesh/internal/ident"
+	"tmesh/internal/keycrypt"
+	"tmesh/internal/keytree"
+	"tmesh/internal/overlay"
+	"tmesh/internal/split"
+	"tmesh/internal/tmesh"
+	"tmesh/internal/vnet"
+)
+
+// Config assembles a Group.
+type Config struct {
+	// Net is the underlying network; required.
+	Net vnet.Network
+	// ServerHost is the key server's attachment point.
+	ServerHost vnet.HostID
+	// Assign holds the ID-space and assignment parameters; zero value
+	// defaults to the paper's (D=5, B=256, R=(150,30,9,3) ms, F=90,
+	// P=10).
+	Assign assign.Config
+	// K is the neighbor-table redundancy; zero defaults to the paper's
+	// K=4.
+	K int
+	// Seed drives all randomness (ID assignment choices, key material).
+	Seed int64
+	// RealCrypto enables AES-GCM key wrapping and per-user keyrings.
+	RealCrypto bool
+	// ClusterRekeying enables the Appendix B heuristic: the key tree
+	// holds bottom-cluster leaders only.
+	ClusterRekeying bool
+	// SplitMode is the default rekey transport mode; zero defaults to
+	// per-encryption splitting.
+	SplitMode split.Mode
+}
+
+// Group is one secure multicast group. It is not safe for concurrent
+// use; drive it from a single goroutine (or the event simulator).
+type Group struct {
+	cfg      Config
+	dir      *overlay.Directory
+	assigner *assign.Assigner
+	tree     *keytree.Tree
+	clusters *cluster.Manager
+	rng      *rand.Rand
+
+	pendingJoins  []ident.ID
+	pendingLeaves []ident.ID
+
+	// keyrings is populated only with RealCrypto; in cluster mode only
+	// leaders keep full keyrings, and groupKeys tracks what every user
+	// believes the group key is.
+	keyrings  map[string]*keytree.Keyring
+	groupKeys map[string]keycrypt.Key
+
+	intervals int
+}
+
+// NewGroup validates the configuration and creates an empty group.
+func NewGroup(cfg Config) (*Group, error) {
+	if cfg.Net == nil {
+		return nil, errors.New("core: Config.Net is required")
+	}
+	if cfg.Assign.Params == (ident.Params{}) {
+		cfg.Assign = assign.DefaultConfig()
+	}
+	if err := cfg.Assign.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.K == 0 {
+		cfg.K = 4
+	}
+	if cfg.K < 1 {
+		return nil, fmt.Errorf("core: K must be >= 1, got %d", cfg.K)
+	}
+	if cfg.SplitMode == 0 {
+		cfg.SplitMode = split.PerEncryption
+	}
+
+	dir, err := overlay.NewDirectory(cfg.Assign.Params, cfg.K, cfg.Net, cfg.ServerHost)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	assigner, err := assign.New(cfg.Assign, dir, rng)
+	if err != nil {
+		return nil, err
+	}
+	g := &Group{
+		cfg:       cfg,
+		dir:       dir,
+		assigner:  assigner,
+		rng:       rng,
+		keyrings:  make(map[string]*keytree.Keyring),
+		groupKeys: make(map[string]keycrypt.Key),
+	}
+	seed := []byte(fmt.Sprintf("group-seed-%d", cfg.Seed))
+	opts := keytree.Opts{RealCrypto: cfg.RealCrypto}
+	if cfg.ClusterRekeying {
+		g.clusters, err = cluster.New(cfg.Assign.Params, seed, opts)
+	} else {
+		g.tree, err = keytree.New(cfg.Assign.Params, seed, opts)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// Dir exposes the membership directory (read-only use).
+func (g *Group) Dir() *overlay.Directory { return g.dir }
+
+// Size returns the current number of users.
+func (g *Group) Size() int { return g.dir.Size() }
+
+// Intervals returns the number of rekey intervals processed.
+func (g *Group) Intervals() int { return g.intervals }
+
+// Params returns the ID-space parameters.
+func (g *Group) Params() ident.Params { return g.cfg.Assign.Params }
+
+// Join runs the distributed ID assignment for a new user at the given
+// host, admits it to the overlay, and queues its key-tree join for the
+// current rekey interval. The at time stamps the record's JoinTime (used
+// by the cluster heuristic's leader election).
+func (g *Group) Join(host vnet.HostID, at time.Duration) (ident.ID, assign.Stats, error) {
+	id, stats, err := g.assigner.AssignID(host)
+	if err != nil {
+		return ident.ID{}, stats, err
+	}
+	rec := overlay.Record{Host: host, ID: id, JoinTime: at}
+	if err := g.dir.Join(rec); err != nil {
+		return ident.ID{}, stats, err
+	}
+	if g.clusters != nil {
+		if err := g.clusters.Join(rec); err != nil {
+			return ident.ID{}, stats, err
+		}
+	} else {
+		g.pendingJoins = append(g.pendingJoins, id)
+	}
+	return id, stats, nil
+}
+
+// Leave removes a user and queues its key-tree departure.
+func (g *Group) Leave(id ident.ID) error {
+	if err := g.dir.Leave(id); err != nil {
+		return err
+	}
+	delete(g.keyrings, id.Key())
+	delete(g.groupKeys, id.Key())
+	if g.clusters != nil {
+		return g.clusters.Leave(id)
+	}
+	g.pendingLeaves = append(g.pendingLeaves, id)
+	return nil
+}
+
+// ProcessInterval ends the current rekey interval: the batched joins and
+// leaves are applied to the key tree and the rekey message generated.
+// With RealCrypto, newly joined users receive their path keys (the
+// server's join-time unicast).
+func (g *Group) ProcessInterval() (*keytree.Message, error) {
+	g.intervals++
+	var msg *keytree.Message
+	if g.clusters != nil {
+		res, err := g.clusters.Process()
+		if err != nil {
+			return nil, err
+		}
+		msg = res.Message
+		if g.cfg.RealCrypto {
+			if err := g.initLeaderKeyrings(); err != nil {
+				return nil, err
+			}
+		}
+		return msg, nil
+	}
+	joins, leaves := g.pendingJoins, g.pendingLeaves
+	g.pendingJoins, g.pendingLeaves = nil, nil
+	msg, err := g.tree.Batch(joins, leaves)
+	if err != nil {
+		return nil, err
+	}
+	if g.cfg.RealCrypto {
+		for _, id := range joins {
+			if err := g.initKeyring(g.tree, id); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return msg, nil
+}
+
+func (g *Group) initKeyring(tree *keytree.Tree, id ident.ID) error {
+	path, err := tree.PathKeys(id)
+	if err != nil {
+		return err
+	}
+	kr, err := keytree.NewKeyring(g.Params(), id, path)
+	if err != nil {
+		return err
+	}
+	g.keyrings[id.Key()] = kr
+	if gk, ok := kr.GroupKey(); ok {
+		g.groupKeys[id.Key()] = gk
+	}
+	return nil
+}
+
+// initLeaderKeyrings (cluster mode) gives every current leader a fresh
+// keyring from the leaders-only tree; cheap and idempotent at the scale
+// the examples run at.
+func (g *Group) initLeaderKeyrings() error {
+	for _, id := range g.clusters.Tree().Structure().Members(ident.EmptyPrefix) {
+		if err := g.initKeyring(g.clusters.Tree(), id); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DistributeRekey multicasts the rekey message over the T-mesh with the
+// group's splitting mode. With RealCrypto, each user's keyring applies
+// exactly the encryptions delivered to it; in cluster mode, leaders then
+// unicast the new group key to their members under pairwise keys.
+func (g *Group) DistributeRekey(msg *keytree.Message) (*split.Report, error) {
+	if msg == nil {
+		return nil, errors.New("core: nil rekey message")
+	}
+	opts := split.Options{Mode: g.cfg.SplitMode}
+	if g.clusters != nil {
+		// Footnote 8: route rekey hops of the bottom row to the
+		// earliest-joined neighbors, i.e. the cluster leaders.
+		opts.EarliestPrimaryRow = g.Params().Digits - 2
+	}
+	applyErrs := make(map[string]error)
+	if g.cfg.RealCrypto {
+		opts.OnDeliver = func(to ident.ID, encs []keycrypt.Encryption, _ int) {
+			kr, ok := g.keyrings[to.Key()]
+			if !ok {
+				return
+			}
+			sub := &keytree.Message{Interval: msg.Interval, Encryptions: encs}
+			if _, err := kr.Apply(sub); err != nil {
+				applyErrs[to.Key()] = err
+				return
+			}
+			if gk, ok := kr.GroupKey(); ok {
+				g.groupKeys[to.Key()] = gk
+			}
+		}
+	}
+	rep, err := split.Rekey(g.dir, msg, opts)
+	if err != nil {
+		return nil, err
+	}
+	for key, err := range applyErrs {
+		return nil, fmt.Errorf("core: user %v failed to apply rekey: %w", ident.IDFromKey(key), err)
+	}
+	if g.cfg.RealCrypto && g.clusters != nil {
+		g.distributeViaLeaders()
+	}
+	return rep, nil
+}
+
+// distributeViaLeaders models the Appendix B last hop: every leader
+// unicasts the new group key to its cluster members under their pairwise
+// keys.
+func (g *Group) distributeViaLeaders() {
+	tree := g.clusters.Tree()
+	gk, ok := tree.GroupKey()
+	if !ok {
+		return
+	}
+	for _, rec := range g.dir.Members(ident.EmptyPrefix) {
+		g.groupKeys[rec.ID.Key()] = gk
+	}
+}
+
+// GroupKeyOf returns the group key a user currently holds (RealCrypto
+// only).
+func (g *Group) GroupKeyOf(id ident.ID) (keycrypt.Key, bool) {
+	k, ok := g.groupKeys[id.Key()]
+	return k, ok
+}
+
+// ServerGroupKey returns the key server's current group key.
+func (g *Group) ServerGroupKey() (keycrypt.Key, bool) {
+	if g.clusters != nil {
+		return g.clusters.Tree().GroupKey()
+	}
+	return g.tree.GroupKey()
+}
+
+// KeyringOf returns a user's keyring (RealCrypto only; in cluster mode
+// leaders only).
+func (g *Group) KeyringOf(id ident.ID) (*keytree.Keyring, bool) {
+	kr, ok := g.keyrings[id.Key()]
+	return kr, ok
+}
+
+// Clusters exposes the cluster manager in cluster-rekeying mode.
+func (g *Group) Clusters() *cluster.Manager { return g.clusters }
+
+// Tree exposes the key tree (nil in cluster mode; use Clusters().Tree()).
+func (g *Group) Tree() *keytree.Tree { return g.tree }
+
+// MulticastData sends a data payload of the given size (in abstract
+// units) from a user over the T-mesh and returns the session metrics.
+func (g *Group) MulticastData(sender ident.ID, units int) (*tmesh.Result, error) {
+	return tmesh.Multicast(tmesh.Config[int]{
+		Dir:      g.dir,
+		SenderID: sender,
+		SizeOf:   func(u int) int { return u },
+	}, units)
+}
+
+// SealForGroup encrypts application data with the server's current group
+// key (RealCrypto only).
+func (g *Group) SealForGroup(plaintext []byte) ([]byte, error) {
+	gk, ok := g.ServerGroupKey()
+	if !ok {
+		return nil, errors.New("core: group is empty, no group key")
+	}
+	return keycrypt.Seal(gk, plaintext)
+}
+
+// OpenAsUser decrypts application data with the group key held by a
+// specific user (RealCrypto only).
+func (g *Group) OpenAsUser(id ident.ID, sealed []byte) ([]byte, error) {
+	gk, ok := g.GroupKeyOf(id)
+	if !ok {
+		return nil, fmt.Errorf("core: user %v holds no group key", id)
+	}
+	return keycrypt.Open(gk, sealed)
+}

@@ -1,0 +1,121 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"tmesh/internal/ident"
+	"tmesh/internal/keytree"
+	"tmesh/internal/split"
+	"tmesh/internal/vnet"
+	"tmesh/internal/workload"
+)
+
+// SessionConfig drives a long-running group through a workload schedule
+// with periodic batch rekeying — the paper's operational model: "the key
+// server processes the join and leave requests during a rekey interval
+// as a batch, and generates a batch rekey message at the end of the
+// rekey interval".
+type SessionConfig struct {
+	// Group is the group to drive; it must be freshly created.
+	Group *Group
+	// Schedule is the join/leave workload. Schedule host indices are
+	// mapped to network hosts as index+1 (host 0 is the key server).
+	Schedule *workload.Schedule
+	// Interval is the rekey interval length.
+	Interval time.Duration
+	// OnInterval, when non-nil, observes each interval's rekey message
+	// and transport report right after distribution.
+	OnInterval func(interval int, msg *keytree.Message, rep *split.Report)
+}
+
+// SessionStats summarises a completed session.
+type SessionStats struct {
+	// Intervals is the number of rekey intervals processed.
+	Intervals int
+	// Joins and Leaves are the totals applied.
+	Joins, Leaves int
+	// TotalRekeyCost sums the encryptions of all rekey messages.
+	TotalRekeyCost int
+	// PeakRekeyCost is the largest single interval.
+	PeakRekeyCost int
+	// FinalSize is the group size at the end.
+	FinalSize int
+}
+
+// RunSession replays the schedule: membership events are applied in
+// time order, and at every Interval boundary the pending batch is
+// processed and the rekey message distributed. It returns the session
+// statistics.
+func RunSession(cfg SessionConfig) (*SessionStats, error) {
+	if cfg.Group == nil || cfg.Schedule == nil {
+		return nil, errors.New("core: Group and Schedule are required")
+	}
+	if cfg.Interval <= 0 {
+		return nil, fmt.Errorf("core: Interval must be positive, got %v", cfg.Interval)
+	}
+	g := cfg.Group
+	stats := &SessionStats{}
+	idOf := make(map[int]ident.ID) // schedule host index -> assigned ID
+
+	flush := func() error {
+		stats.Intervals++
+		msg, err := g.ProcessInterval()
+		if err != nil {
+			return err
+		}
+		stats.TotalRekeyCost += msg.Cost()
+		if msg.Cost() > stats.PeakRekeyCost {
+			stats.PeakRekeyCost = msg.Cost()
+		}
+		var rep *split.Report
+		if g.Size() > 0 && msg.Cost() > 0 {
+			rep, err = g.DistributeRekey(msg)
+			if err != nil {
+				return err
+			}
+		}
+		if cfg.OnInterval != nil {
+			cfg.OnInterval(stats.Intervals, msg, rep)
+		}
+		return nil
+	}
+
+	nextBoundary := cfg.Interval
+	for _, ev := range cfg.Schedule.Events {
+		for ev.At >= nextBoundary {
+			if err := flush(); err != nil {
+				return nil, fmt.Errorf("core: interval ending %v: %w", nextBoundary, err)
+			}
+			nextBoundary += cfg.Interval
+		}
+		switch ev.Kind {
+		case workload.Join:
+			id, _, err := g.Join(vnet.HostID(ev.Host+1), ev.At)
+			if err != nil {
+				return nil, fmt.Errorf("core: join of schedule host %d: %w", ev.Host, err)
+			}
+			idOf[ev.Host] = id
+			stats.Joins++
+		case workload.Leave:
+			id, ok := idOf[ev.Victim]
+			if !ok {
+				return nil, fmt.Errorf("core: leave of never-joined host %d", ev.Victim)
+			}
+			if err := g.Leave(id); err != nil {
+				return nil, fmt.Errorf("core: leave of %v: %w", id, err)
+			}
+			delete(idOf, ev.Victim)
+			stats.Leaves++
+		default:
+			return nil, fmt.Errorf("core: unknown event kind %d", ev.Kind)
+		}
+	}
+	// Final interval for the tail of the schedule.
+	if err := flush(); err != nil {
+		return nil, err
+	}
+	stats.FinalSize = g.Size()
+	return stats, nil
+}

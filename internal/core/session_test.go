@@ -1,0 +1,125 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"tmesh/internal/keytree"
+	"tmesh/internal/split"
+	"tmesh/internal/workload"
+)
+
+func TestRunSessionValidation(t *testing.T) {
+	g := newGroup(t, 5, false)
+	sched := &workload.Schedule{}
+	if _, err := RunSession(SessionConfig{Schedule: sched, Interval: time.Second}); err == nil {
+		t.Error("nil group should fail")
+	}
+	if _, err := RunSession(SessionConfig{Group: g, Interval: time.Second}); err == nil {
+		t.Error("nil schedule should fail")
+	}
+	if _, err := RunSession(SessionConfig{Group: g, Schedule: sched}); err == nil {
+		t.Error("zero interval should fail")
+	}
+}
+
+func TestRunSessionEndToEnd(t *testing.T) {
+	sched, err := workload.Generate(workload.Config{
+		InitialJoins: 30,
+		WarmUp:       300 * time.Second,
+		ChurnJoins:   10,
+		ChurnLeaves:  8,
+		Interval:     100 * time.Second,
+		Seed:         5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := newGroup(t, sched.Hosts+1, false)
+	intervals := 0
+	var reports []*split.Report
+	stats, err := RunSession(SessionConfig{
+		Group:    g,
+		Schedule: sched,
+		Interval: 100 * time.Second,
+		OnInterval: func(i int, msg *keytree.Message, rep *split.Report) {
+			intervals++
+			if i != intervals {
+				t.Errorf("interval callback out of order: %d vs %d", i, intervals)
+			}
+			reports = append(reports, rep)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Joins != 40 || stats.Leaves != 8 {
+		t.Errorf("joins/leaves = %d/%d, want 40/8", stats.Joins, stats.Leaves)
+	}
+	if stats.FinalSize != 32 || g.Size() != 32 {
+		t.Errorf("final size = %d, want 32", stats.FinalSize)
+	}
+	if stats.Intervals != intervals || intervals < 4 {
+		t.Errorf("intervals = %d (callbacks %d)", stats.Intervals, intervals)
+	}
+	if stats.TotalRekeyCost == 0 || stats.PeakRekeyCost == 0 {
+		t.Error("rekey costs should be nonzero")
+	}
+	if stats.PeakRekeyCost > stats.TotalRekeyCost {
+		t.Error("peak exceeds total")
+	}
+	// All current members share the server's group key after the run.
+	want, ok := g.ServerGroupKey()
+	if !ok {
+		t.Fatal("no group key")
+	}
+	for _, id := range g.Dir().IDs() {
+		got, ok := g.GroupKeyOf(id)
+		if !ok || !got.Equal(want) {
+			t.Fatalf("member %v diverged after session", id)
+		}
+	}
+	if err := g.Dir().CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSessionClusterMode(t *testing.T) {
+	sched, err := workload.Generate(workload.Config{
+		InitialJoins: 24,
+		WarmUp:       200 * time.Second,
+		ChurnJoins:   6,
+		ChurnLeaves:  6,
+		Interval:     100 * time.Second,
+		Seed:         9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := newGroup(t, sched.Hosts+1, true)
+	stats, err := RunSession(SessionConfig{
+		Group:    g,
+		Schedule: sched,
+		Interval: 100 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.FinalSize != 24 {
+		t.Errorf("final size = %d, want 24", stats.FinalSize)
+	}
+	// The leaders-only tree keeps the rekey costs below a plain modified
+	// tree's initial batch for the same membership.
+	if g.Clusters().Tree().Size() > g.Size() {
+		t.Error("leader tree larger than group")
+	}
+	want, ok := g.ServerGroupKey()
+	if !ok {
+		t.Fatal("no group key")
+	}
+	for _, id := range g.Dir().IDs() {
+		if got, ok := g.GroupKeyOf(id); !ok || !got.Equal(want) {
+			t.Fatalf("member %v diverged in cluster mode", id)
+		}
+	}
+}

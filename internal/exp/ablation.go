@@ -1,0 +1,300 @@
+package exp
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"tmesh/internal/assign"
+	"tmesh/internal/ident"
+	"tmesh/internal/keytree"
+	"tmesh/internal/metrics"
+	"tmesh/internal/overlay"
+	"tmesh/internal/split"
+	"tmesh/internal/tmesh"
+	"tmesh/internal/vnet"
+)
+
+// Section 2.6 argues that the efficiency of rekey message splitting
+// "comes from a careful integration of the other system components" and
+// would degrade if any were replaced. The ablations here make those
+// arguments measurable:
+//
+//   - RunIDAblation scrambles the host-to-ID mapping, keeping the same
+//     key tree (the PRR/Pastry/Tapestry-style location-independent
+//     placement): "users from the same LAN could belong to different
+//     level-0 ID subtrees... multiple copies of the shared encryptions
+//     traverse the Internet".
+//   - PacketSizes replaces encryption-level splitting with packet-level
+//     splitting at several packet sizes (end of Section 2.5): "the rekey
+//     bandwidth overhead would be larger".
+
+// AblationConfig drives the ID-assignment ablation.
+type AblationConfig struct {
+	N           int
+	ChurnJoins  int
+	ChurnLeaves int
+	// Assign configures the ID space; zero value = paper defaults.
+	Assign assign.Config
+	K      int
+	Seed   int64
+}
+
+// AblationReport compares one assignment policy.
+type AblationReport struct {
+	Policy string // "topology-aware" or "scrambled"
+	// RekeyCost is the batch message size (identical for both policies
+	// by construction: the ID multiset, and hence the key tree, is the
+	// same — only the host-to-ID mapping differs).
+	RekeyCost int
+	// Received is the per-user received-encryptions distribution under
+	// encryption-level splitting.
+	Received *metrics.Distribution
+	// LinkMax and LinkTotal summarise network link stress in units.
+	LinkMax, LinkTotal int
+	// MeanRDP is the mean relative delay penalty of a rekey multicast.
+	MeanRDP float64
+	// DelayP95MS is the 95th-percentile application-layer delay.
+	DelayP95MS float64
+}
+
+// RunIDAblation isolates the value of topology-aware ID assignment: it
+// runs the Section 3.1 protocol once, then builds a second group with
+// the *same IDs* randomly permuted across hosts (the location-
+// independent placement a PRR/Pastry/Tapestry-style random ID gives).
+// Both groups share one key tree and one rekey message; only locality
+// differs, so the link-stress and latency gaps are attributable to the
+// assignment scheme alone.
+func RunIDAblation(cfg AblationConfig) ([]AblationReport, error) {
+	if cfg.N < 2 {
+		return nil, fmt.Errorf("exp: N must be >= 2, got %d", cfg.N)
+	}
+	if cfg.ChurnLeaves > cfg.N {
+		return nil, fmt.Errorf("exp: leaves %d exceed N %d", cfg.ChurnLeaves, cfg.N)
+	}
+	if cfg.Assign.Params == (ident.Params{}) {
+		cfg.Assign = assign.DefaultConfig()
+	}
+	if cfg.K == 0 {
+		cfg.K = 4
+	}
+	net, err := vnet.NewGTITM(vnet.DefaultGTITMConfig(), cfg.N+cfg.ChurnJoins+1, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	// Pass 1: topology-aware assignment for all hosts (initial + churn
+	// joiners), recording the host->ID mapping.
+	awareDir, err := overlay.NewDirectory(cfg.Assign.Params, cfg.K, net, 0)
+	if err != nil {
+		return nil, err
+	}
+	assigner, err := assign.New(cfg.Assign, awareDir, rng)
+	if err != nil {
+		return nil, err
+	}
+	total := cfg.N + cfg.ChurnJoins
+	hosts := make([]vnet.HostID, total)
+	ids := make([]ident.ID, total)
+	for i := 0; i < total; i++ {
+		hosts[i] = vnet.HostID(i + 1)
+		id, _, err := assigner.AssignID(hosts[i])
+		if err != nil {
+			return nil, err
+		}
+		ids[i] = id
+		if err := awareDir.Join(overlay.Record{Host: hosts[i], ID: id, JoinTime: time.Duration(i)}); err != nil {
+			return nil, err
+		}
+	}
+
+	// Pass 2: the same IDs scrambled across the same hosts.
+	perm := rng.Perm(total)
+	scrambledDir, err := overlay.NewDirectory(cfg.Assign.Params, cfg.K, net, 0)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < total; i++ {
+		rec := overlay.Record{Host: hosts[i], ID: ids[perm[i]], JoinTime: time.Duration(i)}
+		if err := scrambledDir.Join(rec); err != nil {
+			return nil, err
+		}
+	}
+
+	// One shared key tree and churn batch: the first N IDs joined
+	// initially, the rest join during the interval, and ChurnLeaves
+	// random initial IDs leave.
+	tree, err := keytree.New(cfg.Assign.Params, []byte("ablation"), keytree.Opts{})
+	if err != nil {
+		return nil, err
+	}
+	if _, err := tree.Batch(ids[:cfg.N], nil); err != nil {
+		return nil, err
+	}
+	leavers := make([]ident.ID, cfg.ChurnLeaves)
+	for i, p := range rng.Perm(cfg.N)[:cfg.ChurnLeaves] {
+		leavers[i] = ids[p]
+	}
+	msg, err := tree.Batch(ids[cfg.N:], leavers)
+	if err != nil {
+		return nil, err
+	}
+	for _, id := range leavers {
+		if err := awareDir.Leave(id); err != nil {
+			return nil, err
+		}
+		if err := scrambledDir.Leave(id); err != nil {
+			return nil, err
+		}
+	}
+
+	var out []AblationReport
+	for _, p := range []struct {
+		name string
+		dir  *overlay.Directory
+	}{{"topology-aware", awareDir}, {"scrambled", scrambledDir}} {
+		rep, err := measureIDPolicy(p.name, p.dir, msg)
+		if err != nil {
+			return nil, fmt.Errorf("exp: policy %s: %w", p.name, err)
+		}
+		out = append(out, *rep)
+	}
+	return out, nil
+}
+
+func measureIDPolicy(name string, dir *overlay.Directory, msg *keytree.Message) (*AblationReport, error) {
+	srep, err := split.Rekey(dir, msg, split.Options{Mode: split.PerEncryption})
+	if err != nil {
+		return nil, err
+	}
+	var recv []float64
+	for _, st := range srep.Multicast.Users {
+		recv = append(recv, float64(st.UnitsReceived))
+	}
+	linkMax, linkTotal := 0, 0
+	for _, u := range srep.LinkUnits {
+		linkTotal += u
+		if u > linkMax {
+			linkMax = u
+		}
+	}
+	lres, err := tmesh.Multicast(tmesh.Config[int]{Dir: dir, SenderIsServer: true}, 1)
+	if err != nil {
+		return nil, err
+	}
+	var rdps, delays []float64
+	for _, st := range lres.Users {
+		rdps = append(rdps, st.RDP)
+		delays = append(delays, float64(st.Delay)/float64(time.Millisecond))
+	}
+	return &AblationReport{
+		Policy:     name,
+		RekeyCost:  msg.Cost(),
+		Received:   metrics.NewDistribution(recv),
+		LinkMax:    linkMax,
+		LinkTotal:  linkTotal,
+		MeanRDP:    metrics.NewDistribution(rdps).Mean(),
+		DelayP95MS: metrics.NewDistribution(delays).Percentile(95),
+	}, nil
+}
+
+// PacketSweepPoint is one packet size of the Section 2.5 packet-level
+// splitting ablation.
+type PacketSweepPoint struct {
+	// PacketSize in encryptions per packet; 0 denotes encryption-level
+	// splitting (the paper's scheme).
+	PacketSize int
+	// MeanReceived and MaxReceived are per-user received encryptions.
+	MeanReceived float64
+	MaxReceived  float64
+}
+
+// RunPacketSweep compares encryption-level splitting against
+// packet-level splitting at the given packet sizes on one churned group.
+func RunPacketSweep(cfg AblationConfig, packetSizes []int) ([]PacketSweepPoint, error) {
+	if cfg.Assign.Params == (ident.Params{}) {
+		cfg.Assign = assign.DefaultConfig()
+	}
+	if cfg.K == 0 {
+		cfg.K = 4
+	}
+	net, err := vnet.NewGTITM(vnet.DefaultGTITMConfig(), cfg.N+cfg.ChurnJoins+1, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	dir, err := overlay.NewDirectory(cfg.Assign.Params, cfg.K, net, 0)
+	if err != nil {
+		return nil, err
+	}
+	assigner, err := assign.New(cfg.Assign, dir, rng)
+	if err != nil {
+		return nil, err
+	}
+	tree, err := keytree.New(cfg.Assign.Params, []byte("pkt"), keytree.Opts{})
+	if err != nil {
+		return nil, err
+	}
+	var base []ident.ID
+	for i := 0; i < cfg.N; i++ {
+		host := vnet.HostID(i + 1)
+		id, _, err := assigner.AssignID(host)
+		if err != nil {
+			return nil, err
+		}
+		if err := dir.Join(overlay.Record{Host: host, ID: id}); err != nil {
+			return nil, err
+		}
+		base = append(base, id)
+	}
+	if _, err := tree.Batch(base, nil); err != nil {
+		return nil, err
+	}
+	leavers := make([]ident.ID, cfg.ChurnLeaves)
+	for i, p := range rng.Perm(cfg.N)[:cfg.ChurnLeaves] {
+		leavers[i] = base[p]
+	}
+	for _, id := range leavers {
+		if err := dir.Leave(id); err != nil {
+			return nil, err
+		}
+	}
+	msg, err := tree.Batch(nil, leavers)
+	if err != nil {
+		return nil, err
+	}
+
+	measure := func(opts split.Options) (PacketSweepPoint, error) {
+		rep, err := split.Rekey(dir, msg, opts)
+		if err != nil {
+			return PacketSweepPoint{}, err
+		}
+		var recv []float64
+		for _, n := range rep.ReceivedPerUser {
+			recv = append(recv, float64(n))
+		}
+		d := metrics.NewDistribution(recv)
+		return PacketSweepPoint{MeanReceived: d.Mean(), MaxReceived: d.Max()}, nil
+	}
+
+	var out []PacketSweepPoint
+	pt, err := measure(split.Options{Mode: split.PerEncryption})
+	if err != nil {
+		return nil, err
+	}
+	pt.PacketSize = 0
+	out = append(out, pt)
+	for _, size := range packetSizes {
+		if size < 1 {
+			return nil, fmt.Errorf("exp: packet size must be >= 1, got %d", size)
+		}
+		pt, err := measure(split.Options{Mode: split.PerPacket, PacketSize: size})
+		if err != nil {
+			return nil, err
+		}
+		pt.PacketSize = size
+		out = append(out, pt)
+	}
+	return out, nil
+}

@@ -1,0 +1,92 @@
+package exp
+
+import "testing"
+
+// TestIDAblationShape verifies the Section 2.6 argument: with random
+// (location-independent) IDs, rekey splitting pushes more encryption
+// copies across the network than with topology-aware IDs.
+func TestIDAblationShape(t *testing.T) {
+	reports, err := RunIDAblation(AblationConfig{
+		N: 72, ChurnJoins: 16, ChurnLeaves: 16,
+		Assign: smallAssign(), K: 4, Seed: 37,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 2 {
+		t.Fatalf("reports = %d, want 2", len(reports))
+	}
+	var aware, scrambled *AblationReport
+	for i := range reports {
+		switch reports[i].Policy {
+		case "topology-aware":
+			aware = &reports[i]
+		case "scrambled":
+			scrambled = &reports[i]
+		}
+	}
+	if aware == nil || scrambled == nil {
+		t.Fatal("missing policy report")
+	}
+	// Both policies distribute the identical rekey message.
+	if aware.RekeyCost != scrambled.RekeyCost {
+		t.Fatalf("rekey costs differ: %d vs %d — ablation is confounded",
+			aware.RekeyCost, scrambled.RekeyCost)
+	}
+	if aware.RekeyCost == 0 {
+		t.Fatal("zero rekey cost")
+	}
+	// Shared encryptions get duplicated earlier with scrambled
+	// placement, so the total link traffic in units is higher.
+	if scrambled.LinkTotal <= aware.LinkTotal {
+		t.Errorf("scrambled IDs should cost more link units: scrambled %d <= aware %d",
+			scrambled.LinkTotal, aware.LinkTotal)
+	}
+	// Latency also suffers: the multicast tree loses topology-awareness.
+	if scrambled.MeanRDP <= aware.MeanRDP {
+		t.Errorf("scrambled IDs should have higher RDP: scrambled %.2f <= aware %.2f",
+			scrambled.MeanRDP, aware.MeanRDP)
+	}
+}
+
+func TestIDAblationValidation(t *testing.T) {
+	if _, err := RunIDAblation(AblationConfig{N: 1}); err == nil {
+		t.Error("N=1 should fail")
+	}
+	if _, err := RunIDAblation(AblationConfig{N: 4, ChurnLeaves: 5}); err == nil {
+		t.Error("leaves > N should fail")
+	}
+}
+
+// TestPacketSweepMonotone verifies the Section 2.5 remark: packet-level
+// splitting carries more overhead than encryption-level, growing with
+// packet size up to the unsplit cost.
+func TestPacketSweepMonotone(t *testing.T) {
+	points, err := RunPacketSweep(AblationConfig{
+		N: 64, ChurnLeaves: 12, Assign: smallAssign(), K: 2, Seed: 41,
+	}, []int{2, 8, 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 4 {
+		t.Fatalf("points = %d, want 4", len(points))
+	}
+	if points[0].PacketSize != 0 {
+		t.Fatal("first point should be encryption-level")
+	}
+	for i := 1; i < len(points); i++ {
+		if points[i].MeanReceived < points[i-1].MeanReceived-1e-9 {
+			t.Errorf("mean received should not decrease with packet size: %+v -> %+v",
+				points[i-1], points[i])
+		}
+	}
+	if points[len(points)-1].MeanReceived <= points[0].MeanReceived {
+		t.Error("large packets should cost measurably more than encryption-level splitting")
+	}
+}
+
+func TestPacketSweepValidation(t *testing.T) {
+	if _, err := RunPacketSweep(AblationConfig{N: 8, Assign: smallAssign(), Seed: 1}, []int{0}); err == nil {
+		t.Error("packet size 0 in the sweep list should fail")
+	}
+}

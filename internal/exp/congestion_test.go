@@ -1,0 +1,76 @@
+package exp
+
+import (
+	"testing"
+	"time"
+)
+
+// TestCongestionShape is the paper's motivation quantified: an unsplit
+// rekey burst inflates concurrent data delivery latency; splitting
+// removes (almost all of) the inflation.
+func TestCongestionShape(t *testing.T) {
+	reports, err := RunCongestion(CongestionConfig{
+		N: 96, ChurnLeaves: 24, Assign: smallAssign(), K: 4, Seed: 61,
+		UplinkBytesPerSecond: 40000, // a 2004-era ~320 kbit/s DSL uplink
+		DataFrameUnits:       2, Frames: 15, FrameSpacing: 200 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 4 {
+		t.Fatalf("reports = %d", len(reports))
+	}
+	byName := map[string]CongestionReport{}
+	for _, r := range reports {
+		byName[r.Scenario] = r
+	}
+	base := byName["no-rekey"]
+	unsplit := byName["rekey-unsplit"]
+	split := byName["rekey-split"]
+	if base.DataDelayP95MS <= 0 {
+		t.Fatal("baseline data delay missing")
+	}
+	if base.RekeyDurationMS != 0 {
+		t.Error("baseline should have no rekey burst")
+	}
+	// The unsplit burst must visibly hurt the worst frame's tail.
+	if unsplit.WorstFrameP95MS < 1.5*base.WorstFrameP95MS {
+		t.Errorf("unsplit rekey should inflate the worst frame: base %.1f ms, unsplit %.1f ms",
+			base.WorstFrameP95MS, unsplit.WorstFrameP95MS)
+	}
+	// Splitting must remove most of the inflation.
+	if split.WorstFrameP95MS >= unsplit.WorstFrameP95MS {
+		t.Errorf("splitting should beat unsplit: split %.1f ms, unsplit %.1f ms",
+			split.WorstFrameP95MS, unsplit.WorstFrameP95MS)
+	}
+	splitOverhead := split.WorstFrameP95MS - base.WorstFrameP95MS
+	unsplitOverhead := unsplit.WorstFrameP95MS - base.WorstFrameP95MS
+	if unsplitOverhead > 0 && splitOverhead > 0.5*unsplitOverhead {
+		t.Errorf("splitting removed too little inflation: %.1f of %.1f ms remains",
+			splitOverhead, unsplitOverhead)
+	}
+	// The split rekey burst itself also finishes sooner.
+	if split.RekeyDurationMS >= unsplit.RekeyDurationMS {
+		t.Errorf("split rekey should finish sooner: %.1f vs %.1f ms",
+			split.RekeyDurationMS, unsplit.RekeyDurationMS)
+	}
+	// The NICE baseline's root-heavy burst hurts its data stream at
+	// least as much as T-mesh splitting would.
+	niceRep, ok := byName["nice-unsplit"]
+	if !ok {
+		t.Fatal("nice scenario missing")
+	}
+	if niceRep.WorstFrameP95MS <= split.WorstFrameP95MS {
+		t.Errorf("NICE P0-style burst should congest more than split T-mesh: %.1f <= %.1f",
+			niceRep.WorstFrameP95MS, split.WorstFrameP95MS)
+	}
+}
+
+func TestCongestionValidation(t *testing.T) {
+	if _, err := RunCongestion(CongestionConfig{N: 1}); err == nil {
+		t.Error("N=1 should fail")
+	}
+	if _, err := RunCongestion(CongestionConfig{N: 8, ChurnLeaves: 9, Assign: smallAssign()}); err == nil {
+		t.Error("leaves > N should fail")
+	}
+}

@@ -1,0 +1,282 @@
+package exp
+
+import (
+	"testing"
+	"time"
+
+	"tmesh/internal/assign"
+	"tmesh/internal/ident"
+	"tmesh/internal/metrics"
+)
+
+// smallAssign keeps test runs quick while preserving the paper's
+// structure (D=4 digits, wide base, descending thresholds).
+func smallAssign() assign.Config {
+	return assign.Config{
+		Params: ident.Params{Digits: 4, Base: 64},
+		Thresholds: []time.Duration{
+			150 * time.Millisecond, 30 * time.Millisecond, 9 * time.Millisecond,
+		},
+		Percentile:    90,
+		CollectTarget: 5,
+	}
+}
+
+// TestRunLatencyFig6Shape is a miniature Fig. 6: T-mesh must beat NICE
+// on delay and RDP while keeping comparable stress.
+func TestRunLatencyFig6Shape(t *testing.T) {
+	res, err := RunLatency(LatencyConfig{
+		Topology: PlanetLab,
+		Joins:    48,
+		Runs:     3,
+		Points:   12,
+		Assign:   smallAssign(),
+		K:        4,
+		Seed:     11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Series) != 2 {
+		t.Fatalf("series = %d, want T-mesh and NICE", len(res.Series))
+	}
+	var tm, nc *LatencySeries
+	for i := range res.Series {
+		switch res.Series[i].Protocol {
+		case "T-mesh":
+			tm = &res.Series[i]
+		case "NICE":
+			nc = &res.Series[i]
+		}
+	}
+	if tm == nil || nc == nil {
+		t.Fatal("missing protocol series")
+	}
+	// Median application-layer delay: T-mesh at most NICE's (the paper
+	// reports roughly half).
+	tmMed := tm.DelayMS[len(tm.DelayMS)/2].Mean
+	ncMed := nc.DelayMS[len(nc.DelayMS)/2].Mean
+	if tmMed > ncMed {
+		t.Errorf("median delay: T-mesh %.1f ms > NICE %.1f ms", tmMed, ncMed)
+	}
+	// Every curve is an inverse CDF: non-decreasing.
+	for _, series := range res.Series {
+		for _, curve := range [][]float64{means(series.Stress), means(series.DelayMS), means(series.RDP)} {
+			for i := 1; i < len(curve); i++ {
+				if curve[i] < curve[i-1]-1e-9 {
+					t.Fatalf("%s: inverse CDF decreases", series.Protocol)
+				}
+			}
+		}
+	}
+	if res.Headlines["T-mesh"] == "" || res.Headlines["NICE"] == "" {
+		t.Error("headlines missing")
+	}
+}
+
+func means(points []metrics.InverseCDFPoint) []float64 {
+	out := make([]float64, len(points))
+	for i, p := range points {
+		out[i] = p.Mean
+	}
+	return out
+}
+
+func TestRunLatencyDataTransport(t *testing.T) {
+	res, err := RunLatency(LatencyConfig{
+		Topology:      PlanetLab,
+		Joins:         32,
+		Runs:          2,
+		Points:        8,
+		DataTransport: true,
+		Assign:        smallAssign(),
+		Seed:          13,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Series) != 2 {
+		t.Fatalf("series = %d", len(res.Series))
+	}
+	for _, s := range res.Series {
+		if s.RDP[len(s.RDP)-1].Mean < 1 {
+			t.Errorf("%s: max RDP %.2f < 1", s.Protocol, s.RDP[len(s.RDP)-1].Mean)
+		}
+	}
+}
+
+func TestRunLatencyValidation(t *testing.T) {
+	if _, err := RunLatency(LatencyConfig{Topology: PlanetLab, Joins: 1}); err == nil {
+		t.Error("too few joins should fail")
+	}
+	if _, err := RunLatency(LatencyConfig{Topology: "mars", Joins: 8}); err == nil {
+		t.Error("unknown topology should fail")
+	}
+}
+
+func TestThresholdSweepFig14(t *testing.T) {
+	variants := []ThresholdVariant{
+		{Name: "A", Digits: 3, Base: 64, Thresholds: []time.Duration{150 * time.Millisecond, 9 * time.Millisecond}},
+		{Name: "B", Digits: 4, Base: 64, Thresholds: []time.Duration{150 * time.Millisecond, 30 * time.Millisecond, 9 * time.Millisecond}},
+	}
+	out, err := RunThresholdSweep(24, 1, 17, variants)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 {
+		t.Fatalf("variants = %d", len(out))
+	}
+	for name, res := range out {
+		if len(res.Series) != 1 || res.Series[0].Protocol != "T-mesh" {
+			t.Errorf("variant %s: series %+v", name, res.Series)
+		}
+	}
+	// Default variants parse and have matching dimensions.
+	for _, v := range PaperThresholdVariants() {
+		if len(v.Thresholds) != v.Digits-1 {
+			t.Errorf("variant %s: %d thresholds for D=%d", v.Name, len(v.Thresholds), v.Digits)
+		}
+	}
+}
+
+// TestRunRekeyCostFig12Shape is a miniature Fig. 12: the modified tree
+// costs more than the original for the same churn, and the cluster
+// heuristic beats the original when few users leave.
+func TestRunRekeyCostFig12Shape(t *testing.T) {
+	cells, err := RunRekeyCost(RekeyCostConfig{
+		N:       64,
+		JValues: []int{0, 16},
+		LValues: []int{0, 16},
+		Runs:    2,
+		Assign:  smallAssign(),
+		Seed:    23,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 4 {
+		t.Fatalf("cells = %d, want 4", len(cells))
+	}
+	byJL := make(map[[2]int]RekeyCostCell)
+	for _, c := range cells {
+		byJL[[2]int{c.J, c.L}] = c
+	}
+	if c := byJL[[2]int{0, 0}]; c.Modified != 0 || c.Original != 0 || c.Clustered != 0 {
+		t.Errorf("idle interval should cost nothing: %+v", c)
+	}
+	c := byJL[[2]int{16, 16}]
+	if c.Modified <= c.Original {
+		t.Errorf("Fig 12(b) shape: modified %.1f should exceed original %.1f", c.Modified, c.Original)
+	}
+	// Fig 12(c): with pure joins (L=0) the heuristic rekeys only for
+	// new clusters, well below the original tree's every-join cost.
+	cj := byJL[[2]int{16, 0}]
+	if cj.Clustered >= cj.Original {
+		t.Errorf("Fig 12(c) shape: clustered %.1f should be below original %.1f for L=0", cj.Clustered, cj.Original)
+	}
+}
+
+func TestRunRekeyCostValidation(t *testing.T) {
+	if _, err := RunRekeyCost(RekeyCostConfig{N: 0}); err == nil {
+		t.Error("N=0 should fail")
+	}
+	if _, err := RunRekeyCost(RekeyCostConfig{N: 4, LValues: []int{5}}); err == nil {
+		t.Error("L > N should fail")
+	}
+}
+
+// TestRunBandwidthFig13Shape is a miniature Fig. 13 over all seven
+// protocols.
+func TestRunBandwidthFig13Shape(t *testing.T) {
+	reports, err := RunBandwidth(BandwidthConfig{
+		N:           64,
+		ChurnJoins:  16,
+		ChurnLeaves: 16,
+		Assign:      smallAssign(),
+		K:           4,
+		Seed:        29,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 7 {
+		t.Fatalf("reports = %d, want 7", len(reports))
+	}
+	byProto := make(map[Protocol]BandwidthReport, len(reports))
+	for _, r := range reports {
+		byProto[r.Protocol] = r
+	}
+	// No splitting: every user receives the whole message.
+	for _, p := range []Protocol{P0, P1, Pip} {
+		r := byProto[p]
+		if r.Received.Percentile(1) != float64(r.RekeyCost) {
+			t.Errorf("%s: min received %.0f != full cost %d", p, r.Received.Percentile(1), r.RekeyCost)
+		}
+	}
+	// Splitting reduces the typical user's received units drastically.
+	if byProto[P1S].Received.Percentile(50) >= byProto[P1].Received.Percentile(50) {
+		t.Errorf("P1' median received %.0f should be below P1 %.0f",
+			byProto[P1S].Received.Percentile(50), byProto[P1].Received.Percentile(50))
+	}
+	// IP multicast: nobody forwards, link stress is a single copy of
+	// the message.
+	if byProto[Pip].Forwarded.Max() != 0 {
+		t.Error("Pip users should forward nothing")
+	}
+	if byProto[Pip].PerLink.Max() > float64(byProto[Pip].RekeyCost) {
+		t.Error("Pip link units exceed one full message")
+	}
+	// The cluster heuristic's message is no larger than the plain
+	// modified tree's.
+	if byProto[P3S].RekeyCost > byProto[P1S].RekeyCost {
+		t.Errorf("cluster rekey cost %d exceeds modified %d", byProto[P3S].RekeyCost, byProto[P1S].RekeyCost)
+	}
+	// NICE's most loaded forwarder still carries far more than
+	// T-mesh's with splitting (the paper's central claim).
+	if byProto[P1S].Forwarded.Max() > byProto[P0S].Forwarded.Max() {
+		t.Errorf("P1' max forwarded %.0f should not exceed P0' %.0f",
+			byProto[P1S].Forwarded.Max(), byProto[P0S].Forwarded.Max())
+	}
+}
+
+func TestRunBandwidthValidation(t *testing.T) {
+	if _, err := RunBandwidth(BandwidthConfig{N: 1}); err == nil {
+		t.Error("N=1 should fail")
+	}
+	if _, err := RunBandwidth(BandwidthConfig{N: 4, ChurnLeaves: 5}); err == nil {
+		t.Error("leaves > N should fail")
+	}
+}
+
+// TestRunJoinCostSublinear: join cost grows far slower than N.
+func TestRunJoinCostSublinear(t *testing.T) {
+	points, err := RunJoinCost(JoinCostConfig{
+		GroupSizes: []int{16, 64},
+		Samples:    4,
+		Assign:     smallAssign(),
+		Seed:       31,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("points = %d", len(points))
+	}
+	small, large := points[0], points[1]
+	if large.Messages.Mean >= 4*small.Messages.Mean+64 {
+		t.Errorf("join cost grew too fast: N=16 -> %.0f msgs, N=64 -> %.0f msgs",
+			small.Messages.Mean, large.Messages.Mean)
+	}
+	if large.Messages.Mean <= 0 {
+		t.Error("join cost should be positive")
+	}
+}
+
+func TestRunJoinCostValidation(t *testing.T) {
+	if _, err := RunJoinCost(JoinCostConfig{}); err == nil {
+		t.Error("no sizes should fail")
+	}
+	if _, err := RunJoinCost(JoinCostConfig{GroupSizes: []int{10, 5}}); err == nil {
+		t.Error("non-increasing sizes should fail")
+	}
+}

@@ -1,0 +1,48 @@
+package exp
+
+import "testing"
+
+// TestGNPComparisonShape: GNP-centralized assignment costs a constant,
+// much smaller number of join messages while producing an overlay of
+// comparable multicast quality.
+func TestGNPComparisonShape(t *testing.T) {
+	reports, err := RunGNPComparison(60, 3, smallAssign())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 2 {
+		t.Fatalf("reports = %d", len(reports))
+	}
+	var dist, central *GNPReport
+	for i := range reports {
+		switch reports[i].Strategy {
+		case "distributed":
+			dist = &reports[i]
+		case "gnp-centralized":
+			central = &reports[i]
+		}
+	}
+	if dist == nil || central == nil {
+		t.Fatal("missing strategy")
+	}
+	// GNP joins cost a small constant (landmark probes + round trip).
+	if central.JoinMessages.Max != central.JoinMessages.Median {
+		t.Errorf("centralized join cost should be constant: %+v", central.JoinMessages)
+	}
+	if central.JoinMessages.Mean >= dist.JoinMessages.Mean {
+		t.Errorf("GNP join cost %.0f should undercut distributed %.0f",
+			central.JoinMessages.Mean, dist.JoinMessages.Mean)
+	}
+	// The resulting overlay must stay usable: median RDP within 2x of
+	// the distributed protocol's.
+	if central.MedianRDP > 2*dist.MedianRDP+1 {
+		t.Errorf("GNP overlay quality degraded: median RDP %.2f vs %.2f",
+			central.MedianRDP, dist.MedianRDP)
+	}
+}
+
+func TestGNPComparisonValidation(t *testing.T) {
+	if _, err := RunGNPComparison(1, 1, smallAssign()); err == nil {
+		t.Error("too few joins should fail")
+	}
+}

@@ -1,0 +1,148 @@
+package exp
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"tmesh/internal/assign"
+	"tmesh/internal/ident"
+	"tmesh/internal/metrics"
+	"tmesh/internal/overlay"
+	"tmesh/internal/vnet"
+)
+
+// JoinCostConfig drives the Section 3.1 communication-cost analysis: the
+// total number of messages a joining user exchanges while determining
+// its ID is O(P·D·N^(1/D)) on average.
+type JoinCostConfig struct {
+	// GroupSizes are the N values to measure (the cost of joining a
+	// group that already has N members).
+	GroupSizes []int
+	// Samples is the number of join costs averaged per group size.
+	Samples int
+	// Assign configures the protocol; zero value = paper defaults.
+	Assign assign.Config
+	Seed   int64
+}
+
+// JoinCostPoint is the measured cost at one group size.
+type JoinCostPoint struct {
+	N        int
+	Messages metrics.Summary
+	Queries  metrics.Summary
+	Probes   metrics.Summary
+	// LatencyMS is the wall-clock join duration in milliseconds,
+	// replayed from the protocol trace: server contacts and collection
+	// queries are sequential round trips; the RTT probes of one digit
+	// level run in parallel. Footnote 1 of the paper is about joins
+	// that outlast the rekey interval; this measures how long they
+	// actually take.
+	LatencyMS metrics.Summary
+}
+
+// RunJoinCost grows one group through the requested sizes, sampling the
+// join cost at each.
+func RunJoinCost(cfg JoinCostConfig) ([]JoinCostPoint, error) {
+	if len(cfg.GroupSizes) == 0 {
+		return nil, fmt.Errorf("exp: no group sizes")
+	}
+	if cfg.Samples == 0 {
+		cfg.Samples = 8
+	}
+	if cfg.Assign.Params == (ident.Params{}) {
+		cfg.Assign = assign.DefaultConfig()
+	}
+	maxN := 0
+	for i, n := range cfg.GroupSizes {
+		if i > 0 && n <= cfg.GroupSizes[i-1] {
+			return nil, fmt.Errorf("exp: group sizes must be increasing")
+		}
+		if n > maxN {
+			maxN = n
+		}
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	net, err := vnet.NewGTITM(vnet.DefaultGTITMConfig(), maxN+cfg.Samples+1, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	dir, err := overlay.NewDirectory(cfg.Assign.Params, 4, net, 0)
+	if err != nil {
+		return nil, err
+	}
+	assigner, err := assign.New(cfg.Assign, dir, rng)
+	if err != nil {
+		return nil, err
+	}
+
+	nextHost := 1
+	joinOne := func() (assign.Stats, ident.ID, error) {
+		host := vnet.HostID(nextHost)
+		nextHost++
+		id, st, err := assigner.AssignID(host)
+		if err != nil {
+			return st, id, err
+		}
+		err = dir.Join(overlay.Record{Host: host, ID: id, JoinTime: time.Duration(nextHost) * time.Second})
+		return st, id, err
+	}
+
+	var points []JoinCostPoint
+	for _, n := range cfg.GroupSizes {
+		for dir.Size() < n {
+			if _, _, err := joinOne(); err != nil {
+				return nil, err
+			}
+		}
+		// Sample: join, measure, leave again (so the group stays at N).
+		var msgs, queries, probes, lats []float64
+		for s := 0; s < cfg.Samples; s++ {
+			host := vnet.HostID(nextHost)
+			st, id, err := joinOne()
+			if err != nil {
+				return nil, err
+			}
+			msgs = append(msgs, float64(st.Messages))
+			queries = append(queries, float64(st.Queries))
+			probes = append(probes, float64(st.Probes))
+			lats = append(lats, float64(JoinLatency(net, host, st.Trace))/float64(time.Millisecond))
+			if err := dir.Leave(id); err != nil {
+				return nil, err
+			}
+			nextHost--
+		}
+		points = append(points, JoinCostPoint{
+			N:         n,
+			Messages:  metrics.Summarize(metrics.NewDistribution(msgs)),
+			Queries:   metrics.Summarize(metrics.NewDistribution(queries)),
+			Probes:    metrics.Summarize(metrics.NewDistribution(probes)),
+			LatencyMS: metrics.Summarize(metrics.NewDistribution(lats)),
+		})
+	}
+	return points, nil
+}
+
+// JoinLatency replays a protocol trace against the network: server
+// contacts and collection queries are sequential round trips; the RTT
+// probes of one digit level overlap and cost their batch maximum.
+func JoinLatency(net vnet.Network, host vnet.HostID, trace []assign.Exchange) time.Duration {
+	var total time.Duration
+	for i := 0; i < len(trace); {
+		e := trace[i]
+		if e.Kind != assign.ExchangeProbe {
+			total += net.RTT(host, e.Peer)
+			i++
+			continue
+		}
+		var batchMax time.Duration
+		for i < len(trace) && trace[i].Kind == assign.ExchangeProbe && trace[i].Level == e.Level {
+			if r := net.RTT(host, trace[i].Peer); r > batchMax {
+				batchMax = r
+			}
+			i++
+		}
+		total += batchMax
+	}
+	return total
+}

@@ -1,0 +1,38 @@
+package exp
+
+import "testing"
+
+// TestLossSweepShape: recovery grows with loss rate; per-user recovery
+// cost stays bounded by the key path length.
+func TestLossSweepShape(t *testing.T) {
+	points, err := RunLossSweep(AblationConfig{
+		N: 64, ChurnLeaves: 8, Assign: smallAssign(), K: 2, Seed: 51,
+	}, []float64{0, 0.05, 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 3 {
+		t.Fatalf("points = %d", len(points))
+	}
+	if points[0].RecoveredFraction != 0 || points[0].HopsDropped != 0 {
+		t.Errorf("lossless point should need no recovery: %+v", points[0])
+	}
+	if points[2].RecoveredFraction <= points[1].RecoveredFraction {
+		t.Errorf("recovery should grow with loss: %.3f -> %.3f",
+			points[1].RecoveredFraction, points[2].RecoveredFraction)
+	}
+	for _, p := range points[1:] {
+		if p.RecoveredFraction > 0 && p.ServerUnitsPerRecovered > float64(smallAssign().Params.Digits+1) {
+			t.Errorf("per-user recovery cost %.1f exceeds path length", p.ServerUnitsPerRecovered)
+		}
+	}
+}
+
+func TestLossSweepValidation(t *testing.T) {
+	if _, err := RunLossSweep(AblationConfig{N: 1}, nil); err == nil {
+		t.Error("N=1 should fail")
+	}
+	if _, err := RunLossSweep(AblationConfig{N: 8, Assign: smallAssign()}, []float64{1.5}); err == nil {
+		t.Error("loss rate >= 1 should fail")
+	}
+}

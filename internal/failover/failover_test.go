@@ -1,0 +1,226 @@
+package failover
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"tmesh/internal/eventsim"
+	"tmesh/internal/ident"
+	"tmesh/internal/overlay"
+	"tmesh/internal/tmesh"
+	"tmesh/internal/vnet"
+)
+
+var tp = ident.Params{Digits: 3, Base: 8}
+
+func buildWorld(t *testing.T, n int, k int, seed int64) (*overlay.Directory, []overlay.Record) {
+	t.Helper()
+	cfg := vnet.GTITMConfig{
+		TransitDomains:   2,
+		TransitPerDomain: 2,
+		StubsPerTransit:  2,
+		TotalRouters:     120,
+		TotalLinks:       300,
+		AccessDelayMin:   time.Millisecond,
+		AccessDelayMax:   3 * time.Millisecond,
+	}
+	net, err := vnet.NewGTITM(cfg, n+1, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir, err := overlay.NewDirectory(tp, k, net, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	used := map[string]bool{}
+	var recs []overlay.Record
+	for len(recs) < n {
+		id, err := ident.FromInt(tp, rng.Intn(tp.Capacity()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if used[id.Key()] {
+			continue
+		}
+		used[id.Key()] = true
+		r := overlay.Record{Host: vnet.HostID(len(recs) + 1), ID: id}
+		if err := dir.Join(r); err != nil {
+			t.Fatal(err)
+		}
+		recs = append(recs, r)
+	}
+	return dir, recs
+}
+
+func newMonitor(t *testing.T, dir *overlay.Directory, sim *eventsim.Simulator) *Monitor {
+	t.Helper()
+	m, err := New(Config{
+		Dir:          dir,
+		Sim:          sim,
+		PingInterval: 2 * time.Second,
+		Misses:       3,
+		Rand:         rand.New(rand.NewSource(1)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestConfigValidation(t *testing.T) {
+	dir, _ := buildWorld(t, 5, 2, 1)
+	sim := eventsim.New()
+	rng := rand.New(rand.NewSource(1))
+	cases := []Config{
+		{Sim: sim, PingInterval: time.Second, Misses: 1, Rand: rng},
+		{Dir: dir, PingInterval: time.Second, Misses: 1, Rand: rng},
+		{Dir: dir, Sim: sim, Misses: 1, Rand: rng},
+		{Dir: dir, Sim: sim, PingInterval: time.Second, Rand: rng},
+		{Dir: dir, Sim: sim, PingInterval: time.Second, Misses: 1},
+	}
+	for i, c := range cases {
+		if _, err := New(c); err == nil {
+			t.Errorf("case %d should fail", i)
+		}
+	}
+}
+
+func TestDetectionAndRepair(t *testing.T) {
+	dir, recs := buildWorld(t, 40, 3, 7)
+	sim := eventsim.New()
+	m := newMonitor(t, dir, sim)
+
+	failed := recs[5].ID
+	failAt := 10 * time.Second
+	if err := m.Kill(failed, failAt); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Kill(failed, failAt); err == nil {
+		t.Error("double kill should fail")
+	}
+	if err := m.Kill(ident.MustNew(tp, []ident.Digit{7, 7, 7}), failAt); err == nil {
+		t.Error("killing a non-member should fail")
+	}
+	sim.Run()
+
+	rep := m.Report()
+	if len(rep.Detections) == 0 {
+		t.Fatal("nobody detected the failure")
+	}
+	bound := WorstCaseDetection(Config{PingInterval: 2 * time.Second, Misses: 3}, 10*time.Millisecond)
+	for _, d := range rep.Detections {
+		if !d.Failed.Equal(failed) {
+			t.Errorf("detection names %v, want %v", d.Failed, failed)
+		}
+		if d.Latency() <= 0 || d.Latency() > bound {
+			t.Errorf("owner %v detection latency %v outside (0, %v]", d.Owner, d.Latency(), bound)
+		}
+	}
+	if rep.PingsLost < 3*len(rep.Detections) {
+		t.Errorf("pings lost %d < 3 per detection", rep.PingsLost)
+	}
+	if rep.Notifications != len(rep.Detections) {
+		t.Errorf("notifications %d != detections %d", rep.Notifications, len(rep.Detections))
+	}
+	// The failed user is gone from every table and the membership view,
+	// and all tables are K-consistent again.
+	if _, ok := dir.Record(failed); ok {
+		t.Error("failed user still in the membership view")
+	}
+	for _, r := range recs {
+		if r.ID.Equal(failed) {
+			continue
+		}
+		if tab, ok := dir.TableOf(r.ID); ok && tab.Contains(failed) {
+			t.Errorf("user %v still lists the failed user", r.ID)
+		}
+	}
+	if err := dir.CheckConsistency(); err != nil {
+		t.Fatalf("after recovery: %v", err)
+	}
+	if !m.Alive(recs[0].ID) || m.Alive(failed) {
+		t.Error("Alive predicate wrong")
+	}
+}
+
+// TestMulticastDuringRecovery: between the crash and the detections,
+// T-mesh already routes around the dead primary via the Alive oracle, so
+// live users keep receiving multicasts.
+func TestMulticastDuringRecovery(t *testing.T) {
+	dir, recs := buildWorld(t, 40, 4, 11)
+	sim := eventsim.New()
+	m := newMonitor(t, dir, sim)
+	failed := recs[9].ID
+	if err := m.Kill(failed, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// Run only past the crash, before any detection fires.
+	sim.RunUntil(1100 * time.Millisecond)
+	res, err := tmesh.Multicast(tmesh.Config[int]{
+		Dir:            dir,
+		SenderIsServer: true,
+		Alive:          m.Alive,
+	}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range recs {
+		if r.ID.Equal(failed) {
+			continue
+		}
+		st := res.Users[r.ID.Key()]
+		if st == nil || st.Received != 1 {
+			t.Errorf("user %v received %+v during recovery window", r.ID, st)
+		}
+	}
+	// Finish recovery; consistency restored.
+	sim.Run()
+	if err := dir.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMultipleFailures: several concurrent crashes all get cleaned up.
+func TestMultipleFailures(t *testing.T) {
+	dir, recs := buildWorld(t, 50, 3, 13)
+	sim := eventsim.New()
+	m := newMonitor(t, dir, sim)
+	victims := []ident.ID{recs[1].ID, recs[17].ID, recs[33].ID}
+	for i, v := range victims {
+		if err := m.Kill(v, time.Duration(i+1)*500*time.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sim.Run()
+	for _, v := range victims {
+		if _, ok := dir.Record(v); ok {
+			t.Errorf("victim %v still present", v)
+		}
+	}
+	if err := dir.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Report().RepairMessages == 0 {
+		t.Error("repairs should cost messages")
+	}
+}
+
+func TestNextTick(t *testing.T) {
+	iv := 2 * time.Second
+	tests := []struct {
+		t, phase, want time.Duration
+	}{
+		{0, 500 * time.Millisecond, 500 * time.Millisecond},
+		{500 * time.Millisecond, 500 * time.Millisecond, 500 * time.Millisecond},
+		{600 * time.Millisecond, 500 * time.Millisecond, 2500 * time.Millisecond},
+		{4500 * time.Millisecond, 500 * time.Millisecond, 4500 * time.Millisecond},
+		{4501 * time.Millisecond, 500 * time.Millisecond, 6500 * time.Millisecond},
+	}
+	for _, tt := range tests {
+		if got := nextTick(tt.t, tt.phase, iv); got != tt.want {
+			t.Errorf("nextTick(%v, %v) = %v, want %v", tt.t, tt.phase, got, tt.want)
+		}
+	}
+}

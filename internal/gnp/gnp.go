@@ -1,0 +1,247 @@
+// Package gnp implements Global Network Positioning (Ng & Zhang,
+// INFOCOM 2002), the coordinate scheme the paper's related-work section
+// proposes as an optimisation: "This scheme can be used in our system to
+// reduce the probing cost of each joining user. For example, if the key
+// server knows the GNP coordinates of all the users, it can determine
+// the ID for a joining user by centralized computing."
+//
+// A small set of landmark hosts first position themselves in a
+// low-dimensional Euclidean space by minimising the error between
+// coordinate distances and measured RTTs. Every other host then solves
+// for its own coordinates from RTT probes to the landmarks only — a
+// constant number of measurements, independent of group size. The
+// CentralizedAssigner mirrors the Section 3.1 digit-by-digit placement,
+// but runs entirely at the key server on stored coordinates: the joining
+// user pays L probes plus one round trip instead of O(P·D·N^(1/D))
+// messages.
+//
+// The solver is the simplex-free variant: plain gradient descent on the
+// normalised squared error, which is accurate enough for the clustering
+// decisions the ID assignment makes (the thresholds R_i are separated by
+// factors of 2 or more).
+package gnp
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"tmesh/internal/vnet"
+)
+
+// Coords is a position in the GNP space, in millisecond units.
+type Coords []float64
+
+// Dist returns the Euclidean distance between two positions,
+// interpreted as a gateway RTT estimate in milliseconds.
+func (c Coords) Dist(o Coords) float64 {
+	sum := 0.0
+	for i := range c {
+		d := c[i] - o[i]
+		sum += d * d
+	}
+	return math.Sqrt(sum)
+}
+
+// Config parameterises the positioning system.
+type Config struct {
+	// Landmarks is the number of landmark hosts (GNP used 6-19; the
+	// default is 8).
+	Landmarks int
+	// Dimensions of the embedding space (default 5).
+	Dimensions int
+	// Iterations of gradient descent (default 400).
+	Iterations int
+	Seed       int64
+}
+
+func (c *Config) setDefaults() {
+	if c.Landmarks == 0 {
+		c.Landmarks = 8
+	}
+	if c.Dimensions == 0 {
+		c.Dimensions = 5
+	}
+	if c.Iterations == 0 {
+		c.Iterations = 400
+	}
+}
+
+// Space is a calibrated GNP coordinate space over one network.
+type Space struct {
+	cfg       Config
+	net       vnet.Network
+	landmarks []vnet.HostID
+	landCoord []Coords
+}
+
+// NewSpace selects landmarks (spread across the host population) and
+// positions them. The probes used are landmark-to-landmark gateway
+// RTTs.
+func NewSpace(net vnet.Network, cfg Config) (*Space, error) {
+	if net == nil {
+		return nil, fmt.Errorf("gnp: network is required")
+	}
+	cfg.setDefaults()
+	if cfg.Landmarks < cfg.Dimensions+1 {
+		return nil, fmt.Errorf("gnp: need at least dim+1=%d landmarks, got %d", cfg.Dimensions+1, cfg.Landmarks)
+	}
+	if net.NumHosts() < cfg.Landmarks {
+		return nil, fmt.Errorf("gnp: %d hosts cannot supply %d landmarks", net.NumHosts(), cfg.Landmarks)
+	}
+	s := &Space{cfg: cfg, net: net}
+	s.pickLandmarks()
+	s.solveLandmarks()
+	return s, nil
+}
+
+// pickLandmarks greedily chooses well-separated hosts: the first is host
+// 0's farthest peer, each next maximises the minimum RTT to those
+// already chosen (k-center heuristic).
+func (s *Space) pickLandmarks() {
+	n := s.net.NumHosts()
+	chosen := []vnet.HostID{0}
+	for len(chosen) < s.cfg.Landmarks {
+		best, bestMin := vnet.HostID(-1), time.Duration(-1)
+		for h := 0; h < n; h++ {
+			hid := vnet.HostID(h)
+			min := time.Duration(math.MaxInt64)
+			taken := false
+			for _, c := range chosen {
+				if c == hid {
+					taken = true
+					break
+				}
+				if d := s.net.GatewayRTT(hid, c); d < min {
+					min = d
+				}
+			}
+			if taken {
+				continue
+			}
+			if min > bestMin {
+				best, bestMin = hid, min
+			}
+		}
+		chosen = append(chosen, best)
+	}
+	s.landmarks = chosen
+}
+
+// solveLandmarks positions the landmarks by gradient descent on the
+// normalised squared error of pairwise distances.
+func (s *Space) solveLandmarks() {
+	rng := rand.New(rand.NewSource(s.cfg.Seed))
+	L, dim := len(s.landmarks), s.cfg.Dimensions
+	pos := make([]Coords, L)
+	for i := range pos {
+		pos[i] = make(Coords, dim)
+		for d := range pos[i] {
+			pos[i][d] = rng.Float64() * 100
+		}
+	}
+	target := make([][]float64, L)
+	for i := range target {
+		target[i] = make([]float64, L)
+		for j := range target[i] {
+			target[i][j] = float64(s.net.GatewayRTT(s.landmarks[i], s.landmarks[j])) / float64(time.Millisecond)
+		}
+	}
+	lr := 2.0
+	for iter := 0; iter < s.cfg.Iterations; iter++ {
+		for i := 0; i < L; i++ {
+			grad := make(Coords, dim)
+			for j := 0; j < L; j++ {
+				if i == j {
+					continue
+				}
+				est := pos[i].Dist(pos[j])
+				if est < 1e-9 {
+					continue
+				}
+				actual := target[i][j]
+				norm := actual
+				if norm < 5 {
+					norm = 5
+				}
+				// d/dpos of ((est-actual)/norm)^2
+				coef := 2 * (est - actual) / (norm * norm) / est
+				for d := 0; d < dim; d++ {
+					grad[d] += coef * (pos[i][d] - pos[j][d])
+				}
+			}
+			for d := 0; d < dim; d++ {
+				pos[i][d] -= lr * grad[d]
+			}
+		}
+		lr *= 0.995
+	}
+	s.landCoord = pos
+}
+
+// Landmarks returns the landmark hosts.
+func (s *Space) Landmarks() []vnet.HostID {
+	return append([]vnet.HostID(nil), s.landmarks...)
+}
+
+// ProbeCount is the number of RTT measurements a host performs to
+// position itself: one per landmark.
+func (s *Space) ProbeCount() int { return len(s.landmarks) }
+
+// Locate computes a host's coordinates from its RTTs to the landmarks
+// (gradient descent against the calibrated landmark positions).
+//
+// The starting point is derived deterministically from the probe vector
+// — an inverse-RTT-weighted centroid of the landmark positions — so
+// hosts with near-identical probe vectors (e.g. two hosts on one site)
+// converge to near-identical coordinates instead of falling into
+// different local minima from random inits.
+func (s *Space) Locate(h vnet.HostID) Coords {
+	dim := s.cfg.Dimensions
+	target := make([]float64, len(s.landmarks))
+	for i, lm := range s.landmarks {
+		target[i] = float64(s.net.GatewayRTT(h, lm)) / float64(time.Millisecond)
+	}
+	pos := make(Coords, dim)
+	wsum := 0.0
+	for i := range s.landmarks {
+		w := 1 / (target[i] + 1)
+		wsum += w
+		for d := 0; d < dim; d++ {
+			pos[d] += w * s.landCoord[i][d]
+		}
+	}
+	for d := 0; d < dim; d++ {
+		pos[d] /= wsum
+	}
+	lr := 2.0
+	for iter := 0; iter < s.cfg.Iterations; iter++ {
+		grad := make(Coords, dim)
+		for i := range s.landmarks {
+			est := pos.Dist(s.landCoord[i])
+			if est < 1e-9 {
+				continue
+			}
+			actual := target[i]
+			norm := actual
+			if norm < 5 {
+				norm = 5
+			}
+			coef := 2 * (est - actual) / (norm * norm) / est
+			for d := 0; d < dim; d++ {
+				grad[d] += coef * (pos[d] - s.landCoord[i][d])
+			}
+		}
+		for d := 0; d < dim; d++ {
+			pos[d] -= lr * grad[d]
+		}
+		lr *= 0.995
+	}
+	return pos
+}
+
+// EstimateRTT predicts the gateway RTT between two located hosts.
+func EstimateRTT(a, b Coords) time.Duration {
+	return time.Duration(a.Dist(b) * float64(time.Millisecond))
+}

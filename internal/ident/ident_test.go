@@ -1,0 +1,246 @@
+package ident
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestParamsValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		p       Params
+		wantErr bool
+	}{
+		{"default", DefaultParams, false},
+		{"minimal", Params{Digits: 1, Base: 2}, false},
+		{"zero digits", Params{Digits: 0, Base: 2}, true},
+		{"negative digits", Params{Digits: -1, Base: 2}, true},
+		{"base one", Params{Digits: 3, Base: 1}, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := tt.p.Validate(); (err != nil) != tt.wantErr {
+				t.Errorf("Validate() = %v, wantErr %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestParamsCapacity(t *testing.T) {
+	tests := []struct {
+		p    Params
+		want int
+	}{
+		{Params{Digits: 1, Base: 2}, 2},
+		{Params{Digits: 3, Base: 4}, 64},
+		{Params{Digits: 2, Base: 256}, 65536},
+	}
+	for _, tt := range tests {
+		if got := tt.p.Capacity(); got != tt.want {
+			t.Errorf("Capacity(%+v) = %d, want %d", tt.p, got, tt.want)
+		}
+	}
+	// Overflow saturates instead of wrapping.
+	huge := Params{Digits: 64, Base: 256}
+	if got := huge.Capacity(); got <= 0 {
+		t.Errorf("Capacity overflow should saturate positive, got %d", got)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	p := Params{Digits: 3, Base: 4}
+	if _, err := New(p, []Digit{0, 1}); err == nil {
+		t.Error("New with too few digits should fail")
+	}
+	if _, err := New(p, []Digit{0, 1, 4}); err == nil {
+		t.Error("New with out-of-range digit should fail")
+	}
+	if _, err := New(p, []Digit{0, 1, -1}); err == nil {
+		t.Error("New with negative digit should fail")
+	}
+	id, err := New(p, []Digit{3, 2, 1})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if got := id.String(); got != "[3,2,1]" {
+		t.Errorf("String() = %q, want [3,2,1]", got)
+	}
+}
+
+func TestFromIntRoundTrip(t *testing.T) {
+	p := Params{Digits: 3, Base: 5}
+	seen := make(map[string]bool)
+	for n := 0; n < p.Capacity(); n++ {
+		id, err := FromInt(p, n)
+		if err != nil {
+			t.Fatalf("FromInt(%d): %v", n, err)
+		}
+		if seen[id.Key()] {
+			t.Fatalf("FromInt(%d) collides: %v", n, id)
+		}
+		seen[id.Key()] = true
+	}
+	if _, err := FromInt(p, p.Capacity()); err == nil {
+		t.Error("FromInt beyond capacity should fail")
+	}
+	if _, err := FromInt(p, -1); err == nil {
+		t.Error("FromInt(-1) should fail")
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	p := Params{Digits: 4, Base: 256}
+	id := MustNew(p, []Digit{0, 255, 17, 3})
+	got, err := Parse(p, id.String())
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", id.String(), err)
+	}
+	if !got.Equal(id) {
+		t.Errorf("Parse(String()) = %v, want %v", got, id)
+	}
+	for _, bad := range []string{"", "[]", "0,1,2,3", "[0,1,2]", "[0,1,2,x]", "[0,1,2,300]"} {
+		if _, err := Parse(p, bad); err == nil {
+			t.Errorf("Parse(%q) should fail", bad)
+		}
+	}
+}
+
+func TestPrefixOperations(t *testing.T) {
+	p := Params{Digits: 4, Base: 10}
+	id := MustNew(p, []Digit{1, 2, 3, 4})
+
+	if got := id.Prefix(0); !got.IsEmpty() {
+		t.Errorf("Prefix(0) = %v, want empty", got)
+	}
+	pre := id.Prefix(2)
+	if pre.String() != "[1,2]" {
+		t.Errorf("Prefix(2) = %v, want [1,2]", pre)
+	}
+	if !id.HasPrefix(pre) {
+		t.Error("ID should have its own prefix")
+	}
+	if !id.HasPrefix(EmptyPrefix) {
+		t.Error("every ID has the empty prefix")
+	}
+	other := MustNew(p, []Digit{1, 2, 9, 9})
+	if got := id.CommonPrefixLen(other); got != 2 {
+		t.Errorf("CommonPrefixLen = %d, want 2", got)
+	}
+	if pre.Child(7).String() != "[1,2,7]" {
+		t.Errorf("Child(7) = %v", pre.Child(7))
+	}
+	if pre.Child(7).Parent() != pre {
+		t.Error("Parent(Child(d)) should round-trip")
+	}
+	if EmptyPrefix.Parent() != EmptyPrefix {
+		t.Error("parent of empty prefix is itself")
+	}
+	if pre.Child(7).LastDigit() != 7 {
+		t.Errorf("LastDigit = %d, want 7", pre.Child(7).LastDigit())
+	}
+	full := id.AsPrefix()
+	back, err := full.FullID(p)
+	if err != nil || !back.Equal(id) {
+		t.Errorf("FullID round trip = %v, %v", back, err)
+	}
+	if _, err := pre.FullID(p); err == nil {
+		t.Error("FullID of short prefix should fail")
+	}
+}
+
+func TestPrefixRelated(t *testing.T) {
+	p := Params{Digits: 3, Base: 4}
+	a, _ := PrefixOf(p, []Digit{1, 2})
+	b, _ := PrefixOf(p, []Digit{1})
+	c, _ := PrefixOf(p, []Digit{1, 3})
+	if !a.Related(b) || !b.Related(a) {
+		t.Error("ancestor/descendant prefixes must be related")
+	}
+	if a.Related(c) {
+		t.Error("sibling prefixes must not be related")
+	}
+	if !a.Related(a) {
+		t.Error("a prefix is related to itself")
+	}
+	if !EmptyPrefix.Related(a) {
+		t.Error("the empty prefix is related to everything")
+	}
+}
+
+// Property: for random IDs, u.HasPrefix(u.Prefix(l)) for every l, and
+// CommonPrefixLen is symmetric and consistent with digit equality.
+func TestPrefixProperties(t *testing.T) {
+	p := Params{Digits: 5, Base: 8}
+	rng := rand.New(rand.NewSource(7))
+	randomID := func() ID {
+		digits := make([]Digit, p.Digits)
+		for i := range digits {
+			digits[i] = rng.Intn(p.Base)
+		}
+		return MustNew(p, digits)
+	}
+	prop := func() bool {
+		u, w := randomID(), randomID()
+		for l := 0; l <= p.Digits; l++ {
+			if !u.HasPrefix(u.Prefix(l)) {
+				return false
+			}
+		}
+		cl := u.CommonPrefixLen(w)
+		if cl != w.CommonPrefixLen(u) {
+			return false
+		}
+		for i := 0; i < cl; i++ {
+			if u.Digit(i) != w.Digit(i) {
+				return false
+			}
+		}
+		if cl < p.Digits && u.Digit(cl) == w.Digit(cl) {
+			return false
+		}
+		// w has u's prefix exactly up to the common length.
+		return w.HasPrefix(u.Prefix(cl)) && (cl == p.Digits || !w.HasPrefix(u.Prefix(cl+1)))
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Digits >= 128 must occupy exactly one byte in prefix keys (regression:
+// string(byte(d)) would UTF-8-encode them into two bytes, making
+// Child/key lookups disagree with IDs built from digits).
+func TestHighDigitPrefixConsistency(t *testing.T) {
+	p := Params{Digits: 3, Base: 256}
+	for _, d := range []Digit{0, 127, 128, 147, 255} {
+		id := MustNew(p, []Digit{d, d, d})
+		if got := EmptyPrefix.Child(d); got.Key() != id.Prefix(1).Key() {
+			t.Errorf("Child(%d) key %q != Prefix(1) key %q", d, got.Key(), id.Prefix(1).Key())
+		}
+		if got := EmptyPrefix.Child(d).Child(d).Child(d); got.Key() != id.Key() {
+			t.Errorf("chained Child(%d) != full ID key", d)
+		}
+		if EmptyPrefix.Child(d).Len() != 1 {
+			t.Errorf("Child(%d) has length %d, want 1", d, EmptyPrefix.Child(d).Len())
+		}
+		if EmptyPrefix.Child(d).LastDigit() != d {
+			t.Errorf("LastDigit(%d) = %d", d, EmptyPrefix.Child(d).LastDigit())
+		}
+	}
+}
+
+func TestSubtreeOf(t *testing.T) {
+	p := Params{Digits: 3, Base: 4}
+	u := MustNew(p, []Digit{2, 1, 0})
+	// (0,j)-ID subtree of u is the level-1 subtree [j].
+	if got := SubtreeOf(u, 0, 3).String(); got != "[3]" {
+		t.Errorf("SubtreeOf(u,0,3) = %s, want [3]", got)
+	}
+	// (1,j) shares u's first digit.
+	if got := SubtreeOf(u, 1, 3).String(); got != "[2,3]" {
+		t.Errorf("SubtreeOf(u,1,3) = %s, want [2,3]", got)
+	}
+	if got := SubtreeOf(u, 2, 2).String(); got != "[2,1,2]" {
+		t.Errorf("SubtreeOf(u,2,2) = %s, want [2,1,2]", got)
+	}
+}

@@ -1,0 +1,89 @@
+package keytree
+
+import (
+	"fmt"
+	"sort"
+
+	"tmesh/internal/ident"
+	"tmesh/internal/keycrypt"
+)
+
+// Keyring is a user's view of its key path: the individual key plus the
+// D k-node keys from its u-node up to the group key. A user is "given the
+// individual key contained in its corresponding u-node as well as the
+// keys contained in the k-nodes on the path from its corresponding u-node
+// to the root".
+type Keyring struct {
+	id     ident.ID
+	params ident.Params
+	keys   map[string]PathKey // prefix key -> current key
+}
+
+// NewKeyring initialises a user's keyring from the path-keys message the
+// key server unicasts at join time.
+func NewKeyring(params ident.Params, u ident.ID, path []PathKey) (*Keyring, error) {
+	kr := &Keyring{id: u, params: params, keys: make(map[string]PathKey, len(path))}
+	for _, pk := range path {
+		if !pk.ID.IsPrefixOfID(u) {
+			return nil, fmt.Errorf("keytree: path key %v is not on %v's path", pk.ID, u)
+		}
+		kr.keys[pk.ID.Key()] = pk
+	}
+	for l := 0; l <= params.Digits; l++ {
+		if _, ok := kr.keys[u.Prefix(l).Key()]; !ok {
+			return nil, fmt.Errorf("keytree: path key for level %d missing", l)
+		}
+	}
+	return kr, nil
+}
+
+// ID returns the owner's user ID.
+func (kr *Keyring) ID() ident.ID { return kr.id }
+
+// GroupKey returns the owner's current group key.
+func (kr *Keyring) GroupKey() (keycrypt.Key, bool) {
+	pk, ok := kr.keys[ident.EmptyPrefix.Key()]
+	return pk.Key, ok
+}
+
+// Key returns the current key held for a path prefix.
+func (kr *Keyring) Key(p ident.Prefix) (keycrypt.Key, bool) {
+	pk, ok := kr.keys[p.Key()]
+	return pk.Key, ok
+}
+
+// Needs implements Lemma 3 for this user.
+func (kr *Keyring) Needs(e keycrypt.Encryption) bool { return e.NeededBy(kr.id) }
+
+// Apply processes a rekey message (or any subset of one delivered by the
+// splitting scheme): it unwraps, deepest-first, every encryption the user
+// needs and installs the new keys. It returns the number of keys
+// updated. Encryptions the user does not need are ignored, so Apply
+// works identically with or without upstream splitting.
+func (kr *Keyring) Apply(msg *Message) (int, error) {
+	needed := make([]keycrypt.Encryption, 0, kr.params.Digits+1)
+	for _, e := range msg.Encryptions {
+		if kr.Needs(e) {
+			needed = append(needed, e)
+		}
+	}
+	// Deepest encrypting key first: each unwrap may need the key
+	// installed by the previous one.
+	sort.SliceStable(needed, func(i, j int) bool {
+		return needed[i].ID.Len() > needed[j].ID.Len()
+	})
+	updated := 0
+	for _, e := range needed {
+		kek, ok := kr.keys[e.ID.Key()]
+		if !ok {
+			return updated, fmt.Errorf("keytree: %v lacks key %v to unwrap %v", kr.id, e.ID, e.KeyID)
+		}
+		newKey, err := keycrypt.Unwrap(kek.Key, e)
+		if err != nil {
+			return updated, fmt.Errorf("keytree: %v unwrapping %v: %w", kr.id, e.KeyID, err)
+		}
+		kr.keys[e.KeyID.Key()] = PathKey{ID: e.KeyID, Key: newKey, Version: e.KeyVersion}
+		updated++
+	}
+	return updated, nil
+}

@@ -1,0 +1,332 @@
+// Package keytree implements the paper's modified key tree (Section 2.4)
+// and the identification scheme that ties users, keys, and encryptions
+// together.
+//
+// The key tree is a rooted tree whose root holds the group key. It
+// contains u-nodes (one per user, holding that user's individual key) and
+// k-nodes (holding the group key or auxiliary keys). Unlike the original
+// key tree of Wong-Gouda-Lam, the modified tree has a fixed height D and
+// grows horizontally: its structure matches the ID tree exactly — the
+// u-node of user u corresponds to the ID-tree leaf u.ID, and a k-node
+// exists for every internal ID-tree node. The ID of a key is the ID of
+// its node; the ID of an encryption {k'}_k is the ID of the encrypting
+// key k. A user therefore needs an encryption iff the encryption's ID is
+// a prefix of the user's ID (Lemma 3) — the test that makes stateless
+// rekey-message splitting possible.
+//
+// Each rekey interval the key server processes the batch of J joins and
+// L leaves: u-nodes are added/removed, k-nodes created or pruned, every
+// key on a path from a changed u-node to the root is replaced, and for
+// every updated k-node one encryption per child is generated (the new key
+// wrapped under each child's current key).
+package keytree
+
+import (
+	"fmt"
+	"sort"
+
+	"tmesh/internal/ident"
+	"tmesh/internal/keycrypt"
+)
+
+// Opts configures a Tree.
+type Opts struct {
+	// RealCrypto enables actual AES-GCM key wrapping. When false,
+	// encryptions carry correct IDs but empty ciphertexts — sufficient
+	// (and much faster) for the rekey-cost and bandwidth experiments
+	// that only count encryptions.
+	RealCrypto bool
+}
+
+type node struct {
+	key     keycrypt.Key
+	version uint64
+}
+
+// Tree is the key server's modified key tree. It is not safe for
+// concurrent use.
+type Tree struct {
+	params ident.Params
+	seed   []byte
+	opts   Opts
+
+	structure *ident.Tree       // ID tree of current members
+	knodes    map[string]*node  // prefix key -> k-node (levels 0..D-1)
+	unodes    map[string]*node  // ID key -> u-node (individual keys)
+	epochs    map[string]uint64 // rejoin counter per user-ID key
+	interval  uint64
+}
+
+// Message is one batch rekey message: all encryptions generated at the
+// end of a rekey interval, before any splitting.
+type Message struct {
+	// Interval is the rekey interval sequence number.
+	Interval uint64
+	// Encryptions are ordered deepest-first so a receiver can unwrap
+	// its path bottom-up in a single pass.
+	Encryptions []keycrypt.Encryption
+}
+
+// Cost returns the paper's rekey cost: the number of encryptions in the
+// message.
+func (m *Message) Cost() int { return len(m.Encryptions) }
+
+// New creates an empty modified key tree. The seed makes derived key
+// material reproducible per simulation run.
+func New(params ident.Params, seed []byte, opts Opts) (*Tree, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	return &Tree{
+		params:    params,
+		seed:      append([]byte(nil), seed...),
+		opts:      opts,
+		structure: ident.NewTree(params),
+		knodes:    make(map[string]*node),
+		unodes:    make(map[string]*node),
+		epochs:    make(map[string]uint64),
+	}, nil
+}
+
+// Params returns the ID-space parameters.
+func (t *Tree) Params() ident.Params { return t.params }
+
+// Size returns the number of users in the tree.
+func (t *Tree) Size() int { return t.structure.Size() }
+
+// Interval returns the number of batches processed so far.
+func (t *Tree) Interval() uint64 { return t.interval }
+
+// Structure returns the underlying ID tree. Callers must treat it as
+// read-only; its shape always matches the key tree exactly.
+func (t *Tree) Structure() *ident.Tree { return t.structure }
+
+// GroupKey returns the current group key; ok is false while the group is
+// empty.
+func (t *Tree) GroupKey() (keycrypt.Key, bool) {
+	n, ok := t.knodes[ident.EmptyPrefix.Key()]
+	if !ok {
+		return keycrypt.Key{}, false
+	}
+	return n.key, true
+}
+
+// KeyOf returns the key and version of the k-node at the prefix.
+func (t *Tree) KeyOf(p ident.Prefix) (keycrypt.Key, uint64, bool) {
+	n, ok := t.knodes[p.Key()]
+	if !ok {
+		return keycrypt.Key{}, 0, false
+	}
+	return n.key, n.version, true
+}
+
+// IndividualKey returns the individual key of a current user.
+func (t *Tree) IndividualKey(u ident.ID) (keycrypt.Key, bool) {
+	n, ok := t.unodes[u.Key()]
+	if !ok {
+		return keycrypt.Key{}, false
+	}
+	return n.key, true
+}
+
+// PathKey is one key on a user's path, as unicast to a joining user.
+type PathKey struct {
+	ID      ident.Prefix
+	Key     keycrypt.Key
+	Version uint64
+}
+
+// PathKeys returns the keys on the path from u's u-node to the root:
+// the individual key first, then k-node keys up to the group key. This
+// is the message the key server unicasts to a user after assigning its
+// ID.
+func (t *Tree) PathKeys(u ident.ID) ([]PathKey, error) {
+	un, ok := t.unodes[u.Key()]
+	if !ok {
+		return nil, fmt.Errorf("keytree: user %v not in tree", u)
+	}
+	out := []PathKey{{ID: u.AsPrefix(), Key: un.key, Version: un.version}}
+	for l := t.params.Digits - 1; l >= 0; l-- {
+		p := u.Prefix(l)
+		kn, ok := t.knodes[p.Key()]
+		if !ok {
+			return nil, fmt.Errorf("keytree: missing k-node %v on path of %v", p, u)
+		}
+		out = append(out, PathKey{ID: p, Key: kn.key, Version: kn.version})
+	}
+	return out, nil
+}
+
+func (t *Tree) deriveKey(label string, version uint64) keycrypt.Key {
+	return keycrypt.DeriveKey(t.seed, fmt.Sprintf("%s/v%d", label, version))
+}
+
+// Batch processes one rekey interval: J joins and L leaves, structural
+// maintenance, key updates along all changed paths, and encryption
+// generation. Joins and leaves must be disjoint, joins must not already
+// be members, and leaves must be members.
+func (t *Tree) Batch(joins, leaves []ident.ID) (*Message, error) {
+	t.interval++
+
+	// Validate the batch up front so the tree never ends half-updated.
+	// Leaves are processed before joins, so an ID freed by a leave may
+	// be reassigned to a joiner within the same interval (the joiner
+	// gets a fresh epoch, hence fresh keys).
+	leaving := make(map[string]bool, len(leaves))
+	for _, l := range leaves {
+		if !t.structure.Contains(l) {
+			return nil, fmt.Errorf("keytree: leave of non-member %v", l)
+		}
+		if leaving[l.Key()] {
+			return nil, fmt.Errorf("keytree: duplicate leave %v in batch", l)
+		}
+		leaving[l.Key()] = true
+	}
+	joining := make(map[string]bool, len(joins))
+	for _, j := range joins {
+		if t.structure.Contains(j) && !leaving[j.Key()] {
+			return nil, fmt.Errorf("keytree: join of existing member %v", j)
+		}
+		if joining[j.Key()] {
+			return nil, fmt.Errorf("keytree: duplicate join %v in batch", j)
+		}
+		joining[j.Key()] = true
+	}
+
+	// updated marks k-node prefixes whose keys must change: every
+	// k-node on the path from a changed u-node to the root.
+	updated := make(map[string]ident.Prefix)
+	markPath := func(u ident.ID) {
+		for l := 0; l < t.params.Digits; l++ {
+			p := u.Prefix(l)
+			updated[p.Key()] = p
+		}
+	}
+
+	// Structural phase: remove departed u-nodes (pruning empty
+	// k-nodes), then add joined u-nodes (creating missing k-nodes).
+	for _, u := range leaves {
+		markPath(u)
+		if err := t.structure.Remove(u); err != nil {
+			return nil, err
+		}
+		delete(t.unodes, u.Key())
+	}
+	for _, u := range joins {
+		markPath(u)
+		if err := t.structure.Insert(u); err != nil {
+			return nil, err
+		}
+		epoch := t.epochs[u.Key()] + 1
+		t.epochs[u.Key()] = epoch
+		t.unodes[u.Key()] = &node{
+			key:     t.deriveKey("u:"+u.Key(), epoch),
+			version: epoch,
+		}
+	}
+	// Drop k-nodes pruned from the structure; create k-nodes that the
+	// structure now has but the key tree does not.
+	for key := range t.knodes {
+		if !t.structure.HasNode(ident.PrefixFromKey(key)) {
+			delete(t.knodes, key)
+			delete(updated, key)
+		}
+	}
+	for key, p := range updated {
+		if !t.structure.HasNode(p) {
+			delete(updated, key)
+			continue
+		}
+		if _, ok := t.knodes[key]; !ok {
+			t.knodes[key] = &node{} // key assigned below
+		}
+	}
+
+	// Key update phase: bump versions and re-derive keys of all updated
+	// k-nodes.
+	ordered := make([]ident.Prefix, 0, len(updated))
+	for _, p := range updated {
+		ordered = append(ordered, p)
+	}
+	// Deepest first, ties by key for determinism.
+	sort.Slice(ordered, func(i, j int) bool {
+		if ordered[i].Len() != ordered[j].Len() {
+			return ordered[i].Len() > ordered[j].Len()
+		}
+		return ordered[i].Key() < ordered[j].Key()
+	})
+	for _, p := range ordered {
+		n := t.knodes[p.Key()]
+		n.version++
+		n.key = t.deriveKey("k:"+p.Key(), n.version+t.interval<<32)
+	}
+
+	// Encryption phase: for each updated k-node, wrap its new key under
+	// each child's current key. Children at level D are u-nodes
+	// (individual keys); others are k-nodes whose keys — if they were
+	// also updated — are already the new ones, so a user unwraps its
+	// path bottom-up starting from its immutable individual key.
+	msg := &Message{Interval: t.interval}
+	for _, p := range ordered {
+		parent := t.knodes[p.Key()]
+		for _, d := range t.structure.ChildDigits(p) {
+			child := p.Child(d)
+			var childKey keycrypt.Key
+			if child.Len() == t.params.Digits {
+				childKey = t.unodes[child.Key()].key
+			} else {
+				childKey = t.knodes[child.Key()].key
+			}
+			enc, err := t.wrap(childKey, child, parent.key, p, parent.version)
+			if err != nil {
+				return nil, err
+			}
+			msg.Encryptions = append(msg.Encryptions, enc)
+		}
+	}
+	return msg, nil
+}
+
+func (t *Tree) wrap(kek keycrypt.Key, kekID ident.Prefix, newKey keycrypt.Key, keyID ident.Prefix, version uint64) (keycrypt.Encryption, error) {
+	if !t.opts.RealCrypto {
+		return keycrypt.Encryption{ID: kekID, KeyID: keyID, KeyVersion: version}, nil
+	}
+	enc, err := keycrypt.Wrap(kek, kekID, newKey, keyID, version)
+	if err != nil {
+		return keycrypt.Encryption{}, fmt.Errorf("keytree: wrapping key %v: %w", keyID, err)
+	}
+	return enc, nil
+}
+
+// CheckStructure verifies that the key tree's nodes are exactly the ID
+// tree's nodes: one k-node per internal node, one u-node per leaf. It
+// returns the first violation, or nil.
+func (t *Tree) CheckStructure() error {
+	wantK := 0
+	var err error
+	t.structure.Walk(func(p ident.Prefix, size int) bool {
+		if p.Len() == t.params.Digits {
+			if _, ok := t.unodes[p.Key()]; !ok {
+				err = fmt.Errorf("keytree: missing u-node %v", p)
+				return false
+			}
+			return true
+		}
+		wantK++
+		if _, ok := t.knodes[p.Key()]; !ok {
+			err = fmt.Errorf("keytree: missing k-node %v", p)
+			return false
+		}
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	if len(t.knodes) != wantK {
+		return fmt.Errorf("keytree: %d k-nodes for %d internal ID-tree nodes", len(t.knodes), wantK)
+	}
+	if len(t.unodes) != t.structure.Size() {
+		return fmt.Errorf("keytree: %d u-nodes for %d users", len(t.unodes), t.structure.Size())
+	}
+	return nil
+}

@@ -1,0 +1,458 @@
+package keytree
+
+import (
+	"math/rand"
+	"testing"
+
+	"tmesh/internal/ident"
+	"tmesh/internal/keycrypt"
+)
+
+var tp = ident.Params{Digits: 2, Base: 3}
+
+func newTree(t *testing.T, params ident.Params, real bool) *Tree {
+	t.Helper()
+	tr, err := New(params, []byte("test-seed"), Opts{RealCrypto: real})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func ids(t *testing.T, params ident.Params, vals ...int) []ident.ID {
+	t.Helper()
+	out := make([]ident.ID, len(vals))
+	for i, v := range vals {
+		id, err := ident.FromInt(params, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[i] = id
+	}
+	return out
+}
+
+// TestPaperFig4Example reproduces Section 2.4's example: five users with
+// IDs [0,0],[0,1],[2,0],[2,1],[2,2]; u5=[2,2] leaves; the server updates
+// the group key and k-node [2], generating exactly four encryptions.
+func TestPaperFig4Example(t *testing.T) {
+	tr := newTree(t, tp, true)
+	members := ids(t, tp, 0, 1, 6, 7, 8) // [0,0],[0,1],[2,0],[2,1],[2,2]
+	if _, err := tr.Batch(members, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.CheckStructure(); err != nil {
+		t.Fatal(err)
+	}
+	u5 := members[4]
+	msg, err := tr.Batch(nil, []ident.ID{u5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msg.Cost() != 4 {
+		t.Fatalf("rekey cost = %d, want 4 ({k1-4}k12, {k1-4}k34, {k34}k3, {k34}k4)", msg.Cost())
+	}
+	// Two encryptions under the root's children [0] and [2]; two under
+	// [2]'s children [2,0] and [2,1].
+	byID := map[string]int{}
+	for _, e := range msg.Encryptions {
+		byID[e.ID.String()]++
+	}
+	for _, want := range []string{"[0]", "[2]", "[2,0]", "[2,1]"} {
+		if byID[want] != 1 {
+			t.Errorf("encryption under %s appears %d times, want 1", want, byID[want])
+		}
+	}
+	// u2=[0,1] needs exactly one: the new group key under k-node [0].
+	u2 := members[1]
+	needed := 0
+	for _, e := range msg.Encryptions {
+		if e.NeededBy(u2) {
+			needed++
+			if e.ID.String() != "[0]" {
+				t.Errorf("u2 needs encryption under %v, want [0]", e.ID)
+			}
+		}
+	}
+	if needed != 1 {
+		t.Errorf("u2 needs %d encryptions, want 1", needed)
+	}
+}
+
+func TestBatchValidation(t *testing.T) {
+	tr := newTree(t, tp, false)
+	m := ids(t, tp, 0, 1, 2)
+	if _, err := tr.Batch(m, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Batch([]ident.ID{m[0]}, nil); err == nil {
+		t.Error("joining an existing member should fail")
+	}
+	if _, err := tr.Batch(nil, ids(t, tp, 8)); err == nil {
+		t.Error("leave of a non-member should fail")
+	}
+	if _, err := tr.Batch(ids(t, tp, 4, 4), nil); err == nil {
+		t.Error("duplicate join in one batch should fail")
+	}
+	if _, err := tr.Batch(nil, ids(t, tp, 0, 0)); err == nil {
+		t.Error("duplicate leave in one batch should fail")
+	}
+	if _, err := tr.Batch(ids(t, tp, 4), ids(t, tp, 4)); err == nil {
+		t.Error("join of a non-member that also leaves should fail on the leave")
+	}
+	if _, err := New(ident.Params{}, nil, Opts{}); err == nil {
+		t.Error("invalid params should fail")
+	}
+}
+
+func TestGroupKeyLifecycle(t *testing.T) {
+	tr := newTree(t, tp, true)
+	if _, ok := tr.GroupKey(); ok {
+		t.Error("empty tree should have no group key")
+	}
+	if _, err := tr.Batch(ids(t, tp, 3), nil); err != nil {
+		t.Fatal(err)
+	}
+	k1, ok := tr.GroupKey()
+	if !ok {
+		t.Fatal("group key missing after first join")
+	}
+	if _, err := tr.Batch(ids(t, tp, 4), nil); err != nil {
+		t.Fatal(err)
+	}
+	k2, _ := tr.GroupKey()
+	if k1.Equal(k2) {
+		t.Error("group key must change across intervals with churn")
+	}
+	// Removing everyone empties the tree again.
+	if _, err := tr.Batch(nil, ids(t, tp, 3, 4)); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Size() != 0 {
+		t.Errorf("Size = %d, want 0", tr.Size())
+	}
+	if _, ok := tr.GroupKey(); ok {
+		t.Error("emptied tree should have no group key")
+	}
+	if err := tr.CheckStructure(); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestEndToEndRekeying drives several intervals and verifies that every
+// remaining user's keyring converges to the server's current keys using
+// only the rekey messages (real crypto).
+func TestEndToEndRekeying(t *testing.T) {
+	params := ident.Params{Digits: 3, Base: 4}
+	tr := newTree(t, params, true)
+	rng := rand.New(rand.NewSource(4))
+
+	rings := make(map[string]*Keyring)
+	live := make(map[string]ident.ID)
+
+	applyAll := func(msg *Message) {
+		t.Helper()
+		for key, kr := range rings {
+			if _, err := kr.Apply(msg); err != nil {
+				t.Fatalf("user %v applying interval %d: %v", live[key], msg.Interval, err)
+			}
+		}
+	}
+	join := func(us []ident.ID, ls []ident.ID) {
+		t.Helper()
+		msg, err := tr.Batch(us, ls)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, l := range ls {
+			delete(rings, l.Key())
+			delete(live, l.Key())
+		}
+		applyAll(msg)
+		for _, u := range us {
+			path, err := tr.PathKeys(u)
+			if err != nil {
+				t.Fatal(err)
+			}
+			kr, err := NewKeyring(params, u, path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rings[u.Key()] = kr
+			live[u.Key()] = u
+		}
+	}
+
+	// Interval 1: 20 initial joins.
+	var initial []ident.ID
+	used := make(map[int]bool)
+	for len(initial) < 20 {
+		v := rng.Intn(params.Capacity())
+		if used[v] {
+			continue
+		}
+		used[v] = true
+		initial = append(initial, ids(t, params, v)...)
+	}
+	join(initial, nil)
+
+	// Several churn intervals.
+	for round := 0; round < 6; round++ {
+		var js, lsv []ident.ID
+		leftNow := make(map[int]bool)
+		for v := range used {
+			if rng.Float64() < 0.2 {
+				lsv = append(lsv, ids(t, params, v)...)
+				delete(used, v)
+				leftNow[v] = true
+				if len(lsv) >= 4 {
+					break
+				}
+			}
+		}
+		for len(js) < 3 {
+			v := rng.Intn(params.Capacity())
+			if used[v] || leftNow[v] {
+				continue
+			}
+			used[v] = true
+			js = append(js, ids(t, params, v)...)
+		}
+		join(js, lsv)
+
+		// Every live user's whole path must match the server's keys.
+		want, ok := tr.GroupKey()
+		if !ok {
+			t.Fatal("server lost the group key")
+		}
+		for _, u := range live {
+			kr := rings[u.Key()]
+			got, ok := kr.GroupKey()
+			if !ok || !got.Equal(want) {
+				t.Fatalf("round %d: user %v group key diverged", round, u)
+			}
+			for l := 0; l < params.Digits; l++ {
+				sk, _, ok := tr.KeyOf(u.Prefix(l))
+				if !ok {
+					t.Fatalf("server missing k-node %v", u.Prefix(l))
+				}
+				uk, ok := kr.Key(u.Prefix(l))
+				if !ok || !uk.Equal(sk) {
+					t.Fatalf("round %d: user %v diverged at level %d", round, u, l)
+				}
+			}
+		}
+		if err := tr.CheckStructure(); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+	}
+}
+
+// TestForwardSecrecy: after a user leaves, its old keyring cannot decrypt
+// traffic sealed with the new group key, and it cannot process the rekey
+// message to obtain it.
+func TestForwardSecrecy(t *testing.T) {
+	params := ident.Params{Digits: 2, Base: 4}
+	tr := newTree(t, params, true)
+	members := ids(t, params, 0, 1, 5, 6)
+	if _, err := tr.Batch(members, nil); err != nil {
+		t.Fatal(err)
+	}
+	leaver := members[0]
+	path, err := tr.PathKeys(leaver)
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaverRing, err := NewKeyring(params, leaver, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldGroup, _ := leaverRing.GroupKey()
+
+	msg, err := tr.Batch(nil, []ident.ID{leaver})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The leaver's old path keys cannot unwrap the new root key: every
+	// encryption it "needs" by its old ID is now under keys it does not
+	// hold (its subtree sibling structure changed under it), so Apply
+	// either updates nothing or fails — and the group key stays old.
+	_, _ = leaverRing.Apply(msg)
+	stale, _ := leaverRing.GroupKey()
+	newGroup, _ := tr.GroupKey()
+	if stale.Equal(newGroup) {
+		t.Fatal("departed user obtained the new group key")
+	}
+	// New traffic is opaque to the leaver.
+	sealed, err := keycrypt.Seal(newGroup, []byte("post-departure secret"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := keycrypt.Open(stale, sealed); err == nil {
+		t.Fatal("departed user decrypted post-departure traffic")
+	}
+	if _, err := keycrypt.Open(oldGroup, sealed); err == nil {
+		t.Fatal("old group key decrypted post-departure traffic")
+	}
+}
+
+// TestBackwardSecrecy: a joining user cannot decrypt traffic sealed with
+// the pre-join group key.
+func TestBackwardSecrecy(t *testing.T) {
+	params := ident.Params{Digits: 2, Base: 4}
+	tr := newTree(t, params, true)
+	if _, err := tr.Batch(ids(t, params, 0, 5), nil); err != nil {
+		t.Fatal(err)
+	}
+	oldGroup, _ := tr.GroupKey()
+	sealed, err := keycrypt.Seal(oldGroup, []byte("pre-join secret"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	joiner := ids(t, params, 10)[0]
+	if _, err := tr.Batch([]ident.ID{joiner}, nil); err != nil {
+		t.Fatal(err)
+	}
+	path, err := tr.PathKeys(joiner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ring, err := NewKeyring(params, joiner, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gk, _ := ring.GroupKey()
+	if gk.Equal(oldGroup) {
+		t.Fatal("group key did not change on join")
+	}
+	if _, err := keycrypt.Open(gk, sealed); err == nil {
+		t.Fatal("joiner decrypted pre-join traffic")
+	}
+}
+
+// TestRejoinGetsFreshKeys: a user that leaves and rejoins with the same
+// ID receives a different individual key (epoch bump).
+func TestRejoinGetsFreshKeys(t *testing.T) {
+	tr := newTree(t, tp, true)
+	u := ids(t, tp, 4)[0]
+	if _, err := tr.Batch([]ident.ID{u}, nil); err != nil {
+		t.Fatal(err)
+	}
+	k1, _ := tr.IndividualKey(u)
+	if _, err := tr.Batch(nil, []ident.ID{u}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := tr.IndividualKey(u); ok {
+		t.Error("departed user's individual key should be gone")
+	}
+	if _, err := tr.Batch([]ident.ID{u}, nil); err != nil {
+		t.Fatal(err)
+	}
+	k2, _ := tr.IndividualKey(u)
+	if k1.Equal(k2) {
+		t.Error("rejoin must issue a fresh individual key")
+	}
+}
+
+// TestLeaveAndRejoinSameBatch: an ID freed by a leave can be reassigned
+// to a new user within the same interval; the new holder gets fresh keys.
+func TestLeaveAndRejoinSameBatch(t *testing.T) {
+	tr := newTree(t, tp, true)
+	u := ids(t, tp, 4)[0]
+	other := ids(t, tp, 7)[0]
+	if _, err := tr.Batch([]ident.ID{u, other}, nil); err != nil {
+		t.Fatal(err)
+	}
+	k1, _ := tr.IndividualKey(u)
+	g1, _ := tr.GroupKey()
+	if _, err := tr.Batch([]ident.ID{u}, []ident.ID{u}); err != nil {
+		t.Fatalf("leave+rejoin in one batch: %v", err)
+	}
+	k2, _ := tr.IndividualKey(u)
+	g2, _ := tr.GroupKey()
+	if k1.Equal(k2) {
+		t.Error("reused ID must get a fresh individual key")
+	}
+	if g1.Equal(g2) {
+		t.Error("group key must change when the ID holder changes")
+	}
+	if err := tr.CheckStructure(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Size() != 2 {
+		t.Errorf("Size = %d, want 2", tr.Size())
+	}
+}
+
+// TestKeyringValidation covers keyring construction errors.
+func TestKeyringValidation(t *testing.T) {
+	params := ident.Params{Digits: 2, Base: 3}
+	tr := newTree(t, params, true)
+	u := ids(t, params, 4)[0]
+	if _, err := tr.Batch([]ident.ID{u}, nil); err != nil {
+		t.Fatal(err)
+	}
+	path, err := tr.PathKeys(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewKeyring(params, u, path[:1]); err == nil {
+		t.Error("incomplete path should be rejected")
+	}
+	other := ids(t, params, 7)[0]
+	if _, err := NewKeyring(params, other, path); err == nil {
+		t.Error("path keys off the owner's path should be rejected")
+	}
+	if _, err := tr.PathKeys(other); err == nil {
+		t.Error("PathKeys of a non-member should fail")
+	}
+}
+
+// TestStructureMatchesIDTreeProperty: after random batches, the key tree
+// structure is exactly the ID tree of the member set.
+func TestStructureMatchesIDTreeProperty(t *testing.T) {
+	params := ident.Params{Digits: 3, Base: 3}
+	tr := newTree(t, params, false)
+	rng := rand.New(rand.NewSource(77))
+	live := make(map[int]bool)
+	for round := 0; round < 30; round++ {
+		var js, lsv []ident.ID
+		leftNow := make(map[int]bool)
+		for v := range live {
+			if rng.Float64() < 0.3 {
+				lsv = append(lsv, ids(t, params, v)...)
+				delete(live, v)
+				leftNow[v] = true
+			}
+		}
+		nJoin := rng.Intn(6)
+		for len(js) < nJoin {
+			v := rng.Intn(params.Capacity())
+			if live[v] || leftNow[v] {
+				continue
+			}
+			live[v] = true
+			js = append(js, ids(t, params, v)...)
+		}
+		msg, err := tr.Batch(js, lsv)
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		if err := tr.CheckStructure(); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		if tr.Size() != len(live) {
+			t.Fatalf("round %d: size %d, want %d", round, tr.Size(), len(live))
+		}
+		if len(js)+len(lsv) == 0 && msg.Cost() != 0 {
+			t.Fatalf("round %d: empty batch produced %d encryptions", round, msg.Cost())
+		}
+		// Every encryption's IDs name nodes that exist now.
+		for _, e := range msg.Encryptions {
+			if !tr.Structure().HasNode(e.KeyID) {
+				t.Fatalf("round %d: encryption names dead node %v", round, e.KeyID)
+			}
+		}
+	}
+}

@@ -1,0 +1,110 @@
+package keytree
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"tmesh/internal/ident"
+	"tmesh/internal/keycrypt"
+)
+
+// snapshot is the gob-encoded persistent state of a key server's tree.
+// It is private server state (it contains raw key material), intended
+// for crash recovery from local stable storage — not a network format.
+type snapshot struct {
+	Version  int
+	Digits   int
+	Base     int
+	Seed     []byte
+	Real     bool
+	Interval uint64
+	Epochs   map[string]uint64
+	KNodes   map[string]snapNode
+	UNodes   map[string]snapNode
+}
+
+type snapNode struct {
+	Key     []byte
+	Version uint64
+}
+
+const snapshotVersion = 1
+
+// Snapshot serialises the complete tree state — structure, key
+// material, versions, and rejoin epochs — so a restarted key server can
+// resume batch rekeying exactly where it stopped.
+func (t *Tree) Snapshot() ([]byte, error) {
+	s := snapshot{
+		Version:  snapshotVersion,
+		Digits:   t.params.Digits,
+		Base:     t.params.Base,
+		Seed:     t.seed,
+		Real:     t.opts.RealCrypto,
+		Interval: t.interval,
+		Epochs:   t.epochs,
+		KNodes:   make(map[string]snapNode, len(t.knodes)),
+		UNodes:   make(map[string]snapNode, len(t.unodes)),
+	}
+	for k, n := range t.knodes {
+		s.KNodes[k] = snapNode{Key: n.key.Bytes(), Version: n.version}
+	}
+	for k, n := range t.unodes {
+		s.UNodes[k] = snapNode{Key: n.key.Bytes(), Version: n.version}
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(s); err != nil {
+		return nil, fmt.Errorf("keytree: encoding snapshot: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// RestoreTree reconstructs a tree from a Snapshot. The restored tree
+// continues the interval numbering and key versions of the original, so
+// users' keyrings remain compatible across the server restart.
+func RestoreTree(data []byte) (*Tree, error) {
+	var s snapshot
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&s); err != nil {
+		return nil, fmt.Errorf("keytree: decoding snapshot: %w", err)
+	}
+	if s.Version != snapshotVersion {
+		return nil, fmt.Errorf("keytree: snapshot version %d not supported", s.Version)
+	}
+	params := ident.Params{Digits: s.Digits, Base: s.Base}
+	t, err := New(params, s.Seed, Opts{RealCrypto: s.Real})
+	if err != nil {
+		return nil, err
+	}
+	t.interval = s.Interval
+	if s.Epochs != nil {
+		t.epochs = s.Epochs
+	}
+	for key, sn := range s.UNodes {
+		id, err := ident.PrefixFromKey(key).FullID(params)
+		if err != nil {
+			return nil, fmt.Errorf("keytree: snapshot u-node %q: %w", key, err)
+		}
+		if err := t.structure.Insert(id); err != nil {
+			return nil, err
+		}
+		k, err := keycrypt.KeyFromBytes(sn.Key)
+		if err != nil {
+			return nil, fmt.Errorf("keytree: snapshot u-node %q key: %w", key, err)
+		}
+		t.unodes[key] = &node{key: k, version: sn.Version}
+	}
+	for key, sn := range s.KNodes {
+		if !t.structure.HasNode(ident.PrefixFromKey(key)) {
+			return nil, fmt.Errorf("keytree: snapshot k-node %q has no members below it", key)
+		}
+		k, err := keycrypt.KeyFromBytes(sn.Key)
+		if err != nil {
+			return nil, fmt.Errorf("keytree: snapshot k-node %q key: %w", key, err)
+		}
+		t.knodes[key] = &node{key: k, version: sn.Version}
+	}
+	if err := t.CheckStructure(); err != nil {
+		return nil, fmt.Errorf("keytree: snapshot inconsistent: %w", err)
+	}
+	return t, nil
+}

@@ -1,0 +1,103 @@
+package keytree
+
+import (
+	"testing"
+
+	"tmesh/internal/ident"
+)
+
+// TestSnapshotRestoreRoundTrip: a restored server resumes rekeying
+// seamlessly — same group key, compatible keyrings, continuing interval
+// numbers.
+func TestSnapshotRestoreRoundTrip(t *testing.T) {
+	params := ident.Params{Digits: 3, Base: 4}
+	tr := newTree(t, params, true)
+	members := ids(t, params, 0, 5, 9, 13, 21, 37)
+	if _, err := tr.Batch(members, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Give one user a keyring before the "crash".
+	path, err := tr.PathKeys(members[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	ring, err := NewKeyring(params, members[2], path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	data, err := tr.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := RestoreTree(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Size() != tr.Size() || restored.Interval() != tr.Interval() {
+		t.Fatalf("restored size/interval = %d/%d, want %d/%d",
+			restored.Size(), restored.Interval(), tr.Size(), tr.Interval())
+	}
+	g1, _ := tr.GroupKey()
+	g2, ok := restored.GroupKey()
+	if !ok || !g1.Equal(g2) {
+		t.Fatal("group key changed across restore")
+	}
+	for _, m := range members {
+		k1, _ := tr.IndividualKey(m)
+		k2, ok := restored.IndividualKey(m)
+		if !ok || !k1.Equal(k2) {
+			t.Fatalf("individual key of %v changed", m)
+		}
+	}
+
+	// The restored server processes the next interval; the pre-crash
+	// keyring still decrypts its rekey message.
+	msg, err := restored.Batch(nil, []ident.ID{members[0]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msg.Interval != tr.Interval()+1 {
+		t.Errorf("interval = %d, want %d", msg.Interval, tr.Interval()+1)
+	}
+	if _, err := ring.Apply(msg); err != nil {
+		t.Fatalf("pre-crash keyring cannot apply post-restore rekey: %v", err)
+	}
+	want, _ := restored.GroupKey()
+	got, _ := ring.GroupKey()
+	if !got.Equal(want) {
+		t.Fatal("keyring diverged after restore")
+	}
+	// Rejoin epochs survive: a departed-then-rejoining user still gets
+	// a fresh individual key.
+	k1, _ := tr.IndividualKey(members[0])
+	if _, err := restored.Batch([]ident.ID{members[0]}, nil); err != nil {
+		t.Fatal(err)
+	}
+	k2, _ := restored.IndividualKey(members[0])
+	if k1.Equal(k2) {
+		t.Error("epoch counter lost: rejoin reused the old individual key")
+	}
+}
+
+func TestRestoreRejectsGarbage(t *testing.T) {
+	if _, err := RestoreTree(nil); err == nil {
+		t.Error("empty snapshot should fail")
+	}
+	if _, err := RestoreTree([]byte("not a gob")); err == nil {
+		t.Error("garbage should fail")
+	}
+	// A valid snapshot with a tampered version is rejected.
+	params := ident.Params{Digits: 2, Base: 3}
+	tr := newTree(t, params, false)
+	if _, err := tr.Batch(ids(t, params, 1, 4), nil); err != nil {
+		t.Fatal(err)
+	}
+	data, err := tr.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RestoreTree(data); err != nil {
+		t.Fatalf("clean snapshot should restore: %v", err)
+	}
+}

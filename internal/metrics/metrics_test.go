@@ -1,0 +1,143 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestDistributionBasics(t *testing.T) {
+	d := NewDistribution([]float64{3, 1, 2, 5, 4})
+	if d.Len() != 5 {
+		t.Fatalf("Len = %d", d.Len())
+	}
+	if d.Mean() != 3 {
+		t.Errorf("Mean = %v, want 3", d.Mean())
+	}
+	if d.Max() != 5 {
+		t.Errorf("Max = %v, want 5", d.Max())
+	}
+	if got := d.Percentile(50); got != 3 {
+		t.Errorf("P50 = %v, want 3", got)
+	}
+	if got := d.Percentile(100); got != 5 {
+		t.Errorf("P100 = %v, want 5", got)
+	}
+	if got := d.Percentile(1); got != 1 {
+		t.Errorf("P1 = %v, want 1", got)
+	}
+	if got := d.AtFraction(0.4); got != 2 {
+		t.Errorf("AtFraction(0.4) = %v, want 2", got)
+	}
+	sorted := d.Sorted()
+	if !sortedAscending(sorted) {
+		t.Error("Sorted not ascending")
+	}
+}
+
+func sortedAscending(xs []float64) bool {
+	for i := 1; i < len(xs); i++ {
+		if xs[i-1] > xs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestEmptyDistribution(t *testing.T) {
+	d := NewDistribution(nil)
+	if d.Mean() != 0 || d.Max() != 0 || d.Percentile(50) != 0 || d.FractionAtMost(1) != 0 {
+		t.Error("empty distribution should yield zeros")
+	}
+}
+
+func TestFractionAtMost(t *testing.T) {
+	d := NewDistribution([]float64{1, 2, 2, 3})
+	tests := []struct {
+		y    float64
+		want float64
+	}{
+		{0.5, 0}, {1, 0.25}, {2, 0.75}, {2.5, 0.75}, {3, 1}, {10, 1},
+	}
+	for _, tt := range tests {
+		if got := d.FractionAtMost(tt.y); math.Abs(got-tt.want) > 1e-12 {
+			t.Errorf("FractionAtMost(%v) = %v, want %v", tt.y, got, tt.want)
+		}
+	}
+}
+
+func TestRankAggregate(t *testing.T) {
+	// Three runs of the same shifted distribution: rank-wise mean is the
+	// middle run.
+	runs := []*Distribution{
+		NewDistribution([]float64{1, 2, 3, 4}),
+		NewDistribution([]float64{2, 3, 4, 5}),
+		NewDistribution([]float64{3, 4, 5, 6}),
+	}
+	points, err := RankAggregate(runs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 4 {
+		t.Fatalf("points = %d, want 4", len(points))
+	}
+	wantMeans := []float64{2, 3, 4, 5}
+	for i, p := range points {
+		if math.Abs(p.Mean-wantMeans[i]) > 1e-12 {
+			t.Errorf("point %d mean = %v, want %v", i, p.Mean, wantMeans[i])
+		}
+		if p.P5 > p.Mean || p.P95 < p.Mean {
+			t.Errorf("point %d percentile band [%v, %v] excludes mean %v", i, p.P5, p.P95, p.Mean)
+		}
+		if p.Fraction <= 0 || p.Fraction > 1 {
+			t.Errorf("point %d fraction %v out of (0,1]", i, p.Fraction)
+		}
+	}
+	if points[3].Fraction != 1 {
+		t.Errorf("last fraction = %v, want 1", points[3].Fraction)
+	}
+}
+
+func TestRankAggregateValidation(t *testing.T) {
+	if _, err := RankAggregate(nil, 4); err == nil {
+		t.Error("no runs should fail")
+	}
+	runs := []*Distribution{NewDistribution([]float64{1}), NewDistribution([]float64{1, 2})}
+	if _, err := RankAggregate(runs, 2); err == nil {
+		t.Error("mismatched run sizes should fail")
+	}
+	if _, err := RankAggregate([]*Distribution{NewDistribution(nil)}, 2); err == nil {
+		t.Error("empty runs should fail")
+	}
+}
+
+func TestRankAggregateDownsampling(t *testing.T) {
+	samples := make([]float64, 1000)
+	rng := rand.New(rand.NewSource(1))
+	for i := range samples {
+		samples[i] = rng.Float64()
+	}
+	points, err := RankAggregate([]*Distribution{NewDistribution(samples)}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 10 {
+		t.Fatalf("points = %d, want 10", len(points))
+	}
+	for i := 1; i < len(points); i++ {
+		if points[i].Mean < points[i-1].Mean {
+			t.Error("inverse CDF must be non-decreasing")
+		}
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	d := NewDistribution([]float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10})
+	s := Summarize(d)
+	if s.N != 10 || s.Median != 5 || s.P90 != 9 || s.Max != 10 {
+		t.Errorf("Summary = %+v", s)
+	}
+	if math.Abs(s.Mean-5.5) > 1e-12 {
+		t.Errorf("Mean = %v, want 5.5", s.Mean)
+	}
+}

@@ -1,0 +1,330 @@
+package overlay
+
+import (
+	"fmt"
+	"sort"
+
+	"tmesh/internal/ident"
+	"tmesh/internal/vnet"
+)
+
+// Directory tracks the current group membership and maintains every
+// member's neighbor table (plus the key server's table) across joins,
+// leaves, and failures.
+//
+// It plays the role of the Silk join/leave/failure-recovery protocols
+// ([12, 13, 15] in the paper) at the state level: after every membership
+// event the tables are exactly what a completed protocol run yields, and
+// MaintenanceMessages estimates the number of protocol messages that run
+// would have cost. The paper's own simulator makes the same
+// simplification ("simplified to improve simulation efficiency").
+type Directory struct {
+	params ident.Params
+	k      int
+	net    vnet.Network
+	server *ServerTable
+
+	tree    *ident.Tree
+	records map[string]Record // by ID key
+	tables  map[string]*Table // by ID key
+
+	maintenanceMessages int
+}
+
+// NewDirectory creates an empty directory. serverHost is the key server's
+// attachment point in the network.
+func NewDirectory(params ident.Params, k int, net vnet.Network, serverHost vnet.HostID) (*Directory, error) {
+	st, err := NewServerTable(params, k, serverHost)
+	if err != nil {
+		return nil, err
+	}
+	return &Directory{
+		params:  params,
+		k:       k,
+		net:     net,
+		server:  st,
+		tree:    ident.NewTree(params),
+		records: make(map[string]Record),
+		tables:  make(map[string]*Table),
+	}, nil
+}
+
+// Params returns the ID-space parameters.
+func (d *Directory) Params() ident.Params { return d.params }
+
+// K returns the per-entry neighbor cap.
+func (d *Directory) K() int { return d.k }
+
+// Network returns the underlying delay oracle.
+func (d *Directory) Network() vnet.Network { return d.net }
+
+// Server returns the key server's table.
+func (d *Directory) Server() *ServerTable { return d.server }
+
+// Tree returns the current ID tree. Callers must treat it as read-only.
+func (d *Directory) Tree() *ident.Tree { return d.tree }
+
+// Size returns the number of users currently in the group.
+func (d *Directory) Size() int { return len(d.records) }
+
+// MaintenanceMessages returns the estimated number of table-maintenance
+// protocol messages exchanged so far.
+func (d *Directory) MaintenanceMessages() int { return d.maintenanceMessages }
+
+// Record returns the record of the user with the given ID.
+func (d *Directory) Record(id ident.ID) (Record, bool) {
+	r, ok := d.records[id.Key()]
+	return r, ok
+}
+
+// TableOf returns the neighbor table of the user with the given ID.
+func (d *Directory) TableOf(id ident.ID) (*Table, bool) {
+	t, ok := d.tables[id.Key()]
+	return t, ok
+}
+
+// Members returns the records of all users in the subtree rooted at the
+// prefix, in ID order.
+func (d *Directory) Members(p ident.Prefix) []Record {
+	ids := d.tree.Members(p)
+	out := make([]Record, len(ids))
+	for i, id := range ids {
+		out[i] = d.records[id.Key()]
+	}
+	return out
+}
+
+// IDs returns all current user IDs in ID order.
+func (d *Directory) IDs() []ident.ID { return d.tree.Members(ident.EmptyPrefix) }
+
+// Join admits a user with an already-assigned unique ID: it constructs
+// the user's neighbor table from the current membership and inserts the
+// user's record into every table where it belongs (including the key
+// server's).
+func (d *Directory) Join(rec Record) error {
+	if _, ok := d.records[rec.ID.Key()]; ok {
+		return fmt.Errorf("overlay: duplicate join of %v", rec.ID)
+	}
+	if err := d.tree.Insert(rec.ID); err != nil {
+		return err
+	}
+	d.records[rec.ID.Key()] = rec
+
+	table, err := d.buildTable(rec)
+	if err != nil {
+		delete(d.records, rec.ID.Key())
+		_ = d.tree.Remove(rec.ID)
+		return err
+	}
+	d.tables[rec.ID.Key()] = table
+
+	// Announce the new user to existing members whose tables should hold
+	// it. One notification message per table actually updated.
+	for key, t := range d.tables {
+		if key == rec.ID.Key() {
+			continue
+		}
+		owner := t.Owner()
+		if t.Insert(Neighbor{Record: rec, RTT: d.net.RTT(owner.Host, rec.Host)}) {
+			d.maintenanceMessages++
+		}
+	}
+	if d.server.Insert(Neighbor{Record: rec, RTT: d.net.RTT(d.server.Host(), rec.Host)}) {
+		d.maintenanceMessages++
+	}
+	return nil
+}
+
+// buildTable constructs a K-consistent table for a new user against the
+// current membership: each (i,j)-entry receives the K nearest members of
+// the owner's (i,j)-ID subtree. The proximity-aware collection of
+// Section 3.1 converges to near-neighbors; we grant it exactly-nearest,
+// which only strengthens the latency results' baseline.
+func (d *Directory) buildTable(rec Record) (*Table, error) {
+	table, err := NewTable(d.params, d.k, rec)
+	if err != nil {
+		return nil, err
+	}
+	for key, other := range d.records {
+		if key == rec.ID.Key() {
+			continue
+		}
+		if table.Insert(Neighbor{Record: other, RTT: d.net.RTT(rec.Host, other.Host)}) {
+			d.maintenanceMessages++ // one probe/insert round per accepted neighbor
+		}
+	}
+	return table, nil
+}
+
+// Leave removes a user gracefully: its record is deleted from every table
+// that holds it, and each affected entry is refilled from the remaining
+// membership (the Silk leave protocol's effect).
+func (d *Directory) Leave(id ident.ID) error {
+	return d.remove(id, true)
+}
+
+// Fail removes a crashed user: same table effects as Leave, reached via
+// failure detection and recovery instead of a polite leave.
+func (d *Directory) Fail(id ident.ID) error {
+	return d.remove(id, false)
+}
+
+func (d *Directory) remove(id ident.ID, graceful bool) error {
+	if _, ok := d.records[id.Key()]; !ok {
+		return fmt.Errorf("overlay: removing unknown user %v", id)
+	}
+	delete(d.records, id.Key())
+	delete(d.tables, id.Key())
+	if err := d.tree.Remove(id); err != nil {
+		return err
+	}
+
+	for _, t := range d.tables {
+		if row, col, ok := t.Remove(id); ok {
+			d.maintenanceMessages++
+			d.refill(t, row, col)
+		}
+	}
+	if d.server.Remove(id) {
+		d.maintenanceMessages++
+		d.refillServer(id.Digit(0))
+	}
+	_ = graceful // graceful vs. failure differ in detection cost only
+	return nil
+}
+
+// refill tops up a user's (row, col)-entry with the nearest remaining
+// members of the corresponding ID subtree.
+func (d *Directory) refill(t *Table, row int, col ident.Digit) {
+	entry := t.Entry(row, col)
+	if entry.Len() >= d.k {
+		return
+	}
+	owner := t.Owner()
+	subtree := owner.ID.Prefix(row).Child(col)
+	candidates := d.Members(subtree)
+	sort.Slice(candidates, func(i, j int) bool {
+		return d.net.RTT(owner.Host, candidates[i].Host) < d.net.RTT(owner.Host, candidates[j].Host)
+	})
+	for _, c := range candidates {
+		if entry.Len() >= d.k {
+			break
+		}
+		if t.Insert(Neighbor{Record: c, RTT: d.net.RTT(owner.Host, c.Host)}) {
+			d.maintenanceMessages++
+		}
+	}
+}
+
+func (d *Directory) refillServer(j ident.Digit) {
+	entry := d.server.Entry(j)
+	if entry.Len() >= d.k {
+		return
+	}
+	pfx := ident.EmptyPrefix.Child(j)
+	for _, c := range d.Members(pfx) {
+		if entry.Len() >= d.k {
+			break
+		}
+		if d.server.Insert(Neighbor{Record: c, RTT: d.net.RTT(d.server.Host(), c.Host)}) {
+			d.maintenanceMessages++
+		}
+	}
+}
+
+// Evict removes a user from the membership view (records, ID tree, and
+// the key server's table) without touching other users' neighbor
+// tables. It is the key server's part of failure recovery: individual
+// owners repair their own tables as they detect the failure (see
+// RepairEntry), while the eviction guarantees repairs never re-learn the
+// dead user.
+func (d *Directory) Evict(id ident.ID) error {
+	if _, ok := d.records[id.Key()]; !ok {
+		return fmt.Errorf("overlay: evicting unknown user %v", id)
+	}
+	delete(d.records, id.Key())
+	delete(d.tables, id.Key())
+	if err := d.tree.Remove(id); err != nil {
+		return err
+	}
+	if d.server.Remove(id) {
+		d.maintenanceMessages++
+		d.refillServer(id.Digit(0))
+	}
+	return nil
+}
+
+// RemoveNeighbor deletes a (possibly dead) neighbor from one owner's
+// table, returning the affected entry coordinates.
+func (d *Directory) RemoveNeighbor(owner, neighbor ident.ID) (row int, col ident.Digit, ok bool) {
+	t, exists := d.tables[owner.Key()]
+	if !exists {
+		return 0, 0, false
+	}
+	return t.Remove(neighbor)
+}
+
+// RepairEntry refills one entry of an owner's table from the current
+// membership (the "look for appropriate users to replace the failed
+// one" step of Section 3.2). It returns the number of protocol messages
+// charged.
+func (d *Directory) RepairEntry(owner ident.ID, row int, col ident.Digit) int {
+	t, ok := d.tables[owner.Key()]
+	if !ok {
+		return 0
+	}
+	before := d.maintenanceMessages
+	d.refill(t, row, col)
+	return d.maintenanceMessages - before
+}
+
+// CheckConsistency verifies Definition 3 (K-consistency) for every user
+// table and the key server's table against the current membership. It
+// returns the first violation found, or nil.
+func (d *Directory) CheckConsistency() error {
+	for _, t := range d.tables {
+		owner := t.Owner()
+		for i := 0; i < d.params.Digits; i++ {
+			for j := 0; j < d.params.Base; j++ {
+				entry := t.Entry(i, ident.Digit(j))
+				if ident.Digit(j) == owner.ID.Digit(i) {
+					if entry.Len() != 0 {
+						return fmt.Errorf("overlay: %v's (%d,%d)-entry must be empty, has %d", owner.ID, i, j, entry.Len())
+					}
+					continue
+				}
+				subtree := owner.ID.Prefix(i).Child(ident.Digit(j))
+				m := d.tree.SubtreeSize(subtree)
+				want := min(d.k, m)
+				if entry.Len() != want {
+					return fmt.Errorf("overlay: %v's (%d,%d)-entry has %d neighbors, want min{K=%d, m=%d}",
+						owner.ID, i, j, entry.Len(), d.k, m)
+				}
+				for _, n := range entry.Neighbors() {
+					if !n.ID.HasPrefix(subtree) {
+						return fmt.Errorf("overlay: %v's (%d,%d)-entry holds %v outside subtree %v",
+							owner.ID, i, j, n.ID, subtree)
+					}
+					if _, ok := d.records[n.ID.Key()]; !ok {
+						return fmt.Errorf("overlay: %v's (%d,%d)-entry holds departed user %v", owner.ID, i, j, n.ID)
+					}
+				}
+			}
+		}
+	}
+	for j := 0; j < d.params.Base; j++ {
+		entry := d.server.Entry(ident.Digit(j))
+		m := d.tree.SubtreeSize(ident.EmptyPrefix.Child(ident.Digit(j)))
+		want := min(d.k, m)
+		if entry.Len() != want {
+			return fmt.Errorf("overlay: server (0,%d)-entry has %d neighbors, want min{K=%d, m=%d}",
+				j, entry.Len(), d.k, m)
+		}
+		for _, n := range entry.Neighbors() {
+			if n.ID.Digit(0) != ident.Digit(j) {
+				return fmt.Errorf("overlay: server (0,%d)-entry holds %v with wrong digit", j, n.ID)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,233 @@
+// Package split implements the rekey message splitting scheme of
+// Section 2.5 (routine REKEY-MESSAGE-SPLIT, Fig. 5) on top of the T-mesh
+// multicast engine.
+//
+// When a member at forwarding level i composes the message for its
+// (s,j)-primary neighbor w, it includes an encryption e if and only if
+// e.ID is a prefix of w.ID[0:s] or w.ID[0:s] is a prefix of e.ID —
+// exactly the condition under which at least one user in w's covered
+// subtree needs e (Theorem 2). No per-downstream-user state is required:
+// the prefix test on the encryption's ID is sufficient, thanks to the
+// coherent identification of users, keys, and encryptions.
+//
+// The package also provides the packet-level splitting variant discussed
+// at the end of Section 2.5 (split in units of fixed-size packets rather
+// than individual encryptions, with correspondingly larger overhead) and
+// the no-splitting baseline, so the bandwidth experiment of Fig. 13 can
+// compare P1 vs P1' and P3 vs P3'.
+package split
+
+import (
+	"fmt"
+
+	"tmesh/internal/ident"
+	"tmesh/internal/keycrypt"
+	"tmesh/internal/keytree"
+	"tmesh/internal/overlay"
+	"tmesh/internal/tmesh"
+	"tmesh/internal/vnet"
+)
+
+// Mode selects how the rekey message is decomposed during multicast.
+type Mode int
+
+const (
+	// NoSplit multicasts the whole rekey message to everyone (the
+	// straightforward approach the paper improves on).
+	NoSplit Mode = iota + 1
+	// PerEncryption splits in units of individual encryptions (Fig. 5).
+	PerEncryption
+	// PerPacket splits at packet granularity: a packet is forwarded iff
+	// it contains at least one relevant encryption.
+	PerPacket
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case NoSplit:
+		return "no-split"
+	case PerEncryption:
+		return "per-encryption"
+	case PerPacket:
+		return "per-packet"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Filter returns the encryptions relevant to the given ID subtree: the
+// REKEY-MESSAGE-SPLIT selection. The input slice is not modified.
+func Filter(encs []keycrypt.Encryption, subtree ident.Prefix) []keycrypt.Encryption {
+	var out []keycrypt.Encryption
+	for _, e := range encs {
+		if e.RelevantTo(subtree) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Packet is a group of encryptions transported as one unit in PerPacket
+// mode.
+type Packet []keycrypt.Encryption
+
+// Packetize groups encryptions into packets of at most perPacket
+// encryptions, in message order.
+func Packetize(encs []keycrypt.Encryption, perPacket int) []Packet {
+	if perPacket < 1 {
+		perPacket = 1
+	}
+	var out []Packet
+	for start := 0; start < len(encs); start += perPacket {
+		end := start + perPacket
+		if end > len(encs) {
+			end = len(encs)
+		}
+		out = append(out, Packet(encs[start:end]))
+	}
+	return out
+}
+
+// FilterPackets keeps the packets containing at least one encryption
+// relevant to the subtree. Packets are forwarded whole, which is why
+// packet-level splitting carries more overhead than encryption-level.
+func FilterPackets(pkts []Packet, subtree ident.Prefix) []Packet {
+	var out []Packet
+	for _, p := range pkts {
+		for _, e := range p {
+			if e.RelevantTo(subtree) {
+				out = append(out, p)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// Options configures a rekey transport run.
+type Options struct {
+	// Mode selects the splitting granularity; zero value defaults to
+	// PerEncryption.
+	Mode Mode
+	// PacketSize is the encryptions-per-packet for PerPacket mode
+	// (default 25, roughly a 1 KB packet of 40-byte encryptions).
+	PacketSize int
+	// Alive is the optional liveness oracle passed through to T-mesh.
+	Alive func(ident.ID) bool
+	// OnDeliver, when non-nil, observes each user's delivered
+	// encryptions (for correctness verification).
+	OnDeliver func(to ident.ID, encs []keycrypt.Encryption, level int)
+	// EarliestPrimaryRow passes through to the transport (footnote 8:
+	// the cluster heuristic prefers earliest-joined primaries at row
+	// D-2 so leaders receive the message at level D-1).
+	EarliestPrimaryRow int
+}
+
+// Report is the bandwidth accounting of one rekey transport session, in
+// units of encryptions — the quantities plotted in Fig. 13.
+type Report struct {
+	// ReceivedPerUser is the number of encryptions received by each
+	// user (Fig. 13 (a)).
+	ReceivedPerUser map[string]int
+	// ForwardedPerUser is the number of encryptions forwarded by each
+	// user (Fig. 13 (b)).
+	ForwardedPerUser map[string]int
+	// LinkUnits is the number of encryptions that crossed each network
+	// link (Fig. 13 (c)).
+	LinkUnits map[vnet.LinkID]int
+	// ServerUnits is the number of encryptions the key server emitted
+	// across its B first-hop messages.
+	ServerUnits int
+	// Multicast is the underlying session result.
+	Multicast *tmesh.Result
+}
+
+// Rekey multicasts a batch rekey message from the key server over the
+// T-mesh with the selected splitting mode and returns the bandwidth
+// report.
+func Rekey(dir *overlay.Directory, msg *keytree.Message, opts Options) (*Report, error) {
+	if dir == nil {
+		return nil, fmt.Errorf("split: directory is required")
+	}
+	if msg == nil {
+		return nil, fmt.Errorf("split: message is required")
+	}
+	if opts.Mode == 0 {
+		opts.Mode = PerEncryption
+	}
+
+	var res *tmesh.Result
+	var err error
+	switch opts.Mode {
+	case NoSplit, PerEncryption:
+		cfg := tmesh.Config[[]keycrypt.Encryption]{
+			Dir:                dir,
+			SenderIsServer:     true,
+			Alive:              opts.Alive,
+			EarliestPrimaryRow: opts.EarliestPrimaryRow,
+			SizeOf:             func(encs []keycrypt.Encryption) int { return len(encs) },
+		}
+		if opts.Mode == PerEncryption {
+			cfg.SplitHop = Filter
+		}
+		if opts.OnDeliver != nil {
+			cfg.OnDeliver = opts.OnDeliver
+		}
+		res, err = tmesh.Multicast(cfg, msg.Encryptions)
+	case PerPacket:
+		size := opts.PacketSize
+		if size == 0 {
+			size = 25
+		}
+		cfg := tmesh.Config[[]Packet]{
+			Dir:                dir,
+			SenderIsServer:     true,
+			Alive:              opts.Alive,
+			EarliestPrimaryRow: opts.EarliestPrimaryRow,
+			SplitHop:           FilterPackets,
+			SizeOf: func(pkts []Packet) int {
+				n := 0
+				for _, p := range pkts {
+					n += len(p)
+				}
+				return n
+			},
+		}
+		if opts.OnDeliver != nil {
+			cfg.OnDeliver = func(to ident.ID, pkts []Packet, level int) {
+				var flat []keycrypt.Encryption
+				for _, p := range pkts {
+					flat = append(flat, p...)
+				}
+				opts.OnDeliver(to, flat, level)
+			}
+		}
+		res, err = tmesh.Multicast(cfg, Packetize(msg.Encryptions, size))
+	default:
+		return nil, fmt.Errorf("split: unknown mode %v", opts.Mode)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	rep := &Report{
+		ReceivedPerUser:  make(map[string]int, len(res.Users)),
+		ForwardedPerUser: make(map[string]int, len(res.Users)),
+		LinkUnits:        res.LinkUnits,
+		Multicast:        res,
+	}
+	for key, st := range res.Users {
+		rep.ReceivedPerUser[key] = st.UnitsReceived
+		rep.ForwardedPerUser[key] = st.UnitsForwarded
+	}
+	// The server's emitted units: sum the first-hop units. These equal
+	// the units received at level 1 plus nothing else, so recover them
+	// from level-1 receivers.
+	for _, st := range res.Users {
+		if st.Level == 1 {
+			rep.ServerUnits += st.UnitsReceived
+		}
+	}
+	return rep, nil
+}

@@ -1,0 +1,83 @@
+package wire
+
+import (
+	"testing"
+
+	"tmesh/internal/ident"
+	"tmesh/internal/keycrypt"
+	"tmesh/internal/keytree"
+	"tmesh/internal/overlay"
+)
+
+// The decoders must never panic or over-allocate on arbitrary bytes —
+// they parse data received from other group members.
+
+func FuzzUnmarshalRekey(f *testing.F) {
+	msg := &keytree.Message{
+		Interval: 7,
+		Encryptions: []keycrypt.Encryption{
+			{ID: ident.EmptyPrefix, KeyID: ident.EmptyPrefix, KeyVersion: 1, Ciphertext: []byte("ct")},
+		},
+	}
+	if seed, err := MarshalRekey(msg, 2); err == nil {
+		f.Add(seed)
+	}
+	f.Add([]byte{byte(TypeRekey)})
+	f.Add([]byte{byte(TypeRekey), 0, 0, 0, 0, 0, 0, 0, 0, 1, 0xff, 0xff, 0xff, 0xff})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, level, err := UnmarshalRekey(data)
+		if err != nil {
+			return
+		}
+		// A successful decode must round-trip to the same bytes.
+		back, err := MarshalRekey(got, level)
+		if err != nil {
+			t.Fatalf("re-marshal of decoded message failed: %v", err)
+		}
+		if string(back) != string(data) {
+			t.Fatalf("decode/encode not canonical:\n in  %x\n out %x", data, back)
+		}
+	})
+}
+
+func FuzzUnmarshalQueryReply(f *testing.F) {
+	params := ident.Params{Digits: 5, Base: 256}
+	if seed, err := MarshalQueryReply([]overlay.Record{{Host: 3, ID: mustID(params)}}); err == nil {
+		f.Add(seed)
+	}
+	f.Add([]byte{byte(TypeQueryReply), 0xff, 0xff})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		recs, err := UnmarshalQueryReply(data, params)
+		if err != nil {
+			return
+		}
+		back, err := MarshalQueryReply(recs)
+		if err != nil {
+			t.Fatalf("re-marshal failed: %v", err)
+		}
+		if string(back) != string(data) {
+			t.Fatalf("decode/encode not canonical")
+		}
+	})
+}
+
+func FuzzUnmarshalQuery(f *testing.F) {
+	f.Add(MarshalQuery(Query{Target: ident.EmptyPrefix}))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		q, err := UnmarshalQuery(data)
+		if err != nil {
+			return
+		}
+		if string(MarshalQuery(q)) != string(data) {
+			t.Fatal("decode/encode not canonical")
+		}
+	})
+}
+
+func mustID(params ident.Params) ident.ID {
+	id, err := ident.FromInt(params, 12345)
+	if err != nil {
+		panic(err)
+	}
+	return id
+}

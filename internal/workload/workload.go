@@ -1,0 +1,118 @@
+// Package workload generates the join/leave schedules used by the
+// evaluation: N initial joins at uniformly random times over a warm-up
+// window, followed by J joins and L leaves spread uniformly over one
+// rekey interval — the paper's Fig. 13 scenario ("1024 users join the
+// group each at a random time between 0 and 2048 seconds; after all the
+// joins terminate, the key server processes 256 joins and 256 leaves in
+// one rekey interval of 512 seconds").
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// EventKind distinguishes joins from leaves.
+type EventKind int
+
+const (
+	// Join is a user arrival.
+	Join EventKind = iota + 1
+	// Leave is a departure of a previously joined user.
+	Leave
+)
+
+// Event is one membership change. Joins carry a fresh Host index; leaves
+// name the index of the joining event whose user departs.
+type Event struct {
+	Kind EventKind
+	At   time.Duration
+	// Host is the host index of the joining user (unique per join).
+	Host int
+	// Victim, for leaves, is the Host of the departing user.
+	Victim int
+}
+
+// Schedule is a time-ordered sequence of events.
+type Schedule struct {
+	Events []Event
+	// Hosts is the total number of distinct hosts referenced.
+	Hosts int
+}
+
+// Config describes a schedule.
+type Config struct {
+	// InitialJoins users arrive at U(0, WarmUp).
+	InitialJoins int
+	WarmUp       time.Duration
+	// ChurnJoins and ChurnLeaves are processed during one rekey
+	// interval starting at WarmUp and lasting Interval. Leaves pick
+	// distinct victims among the initial joiners.
+	ChurnJoins, ChurnLeaves int
+	Interval                time.Duration
+	Seed                    int64
+}
+
+// Paper13 returns the Fig. 13 workload.
+func Paper13(seed int64) Config {
+	return Config{
+		InitialJoins: 1024,
+		WarmUp:       2048 * time.Second,
+		ChurnJoins:   256,
+		ChurnLeaves:  256,
+		Interval:     512 * time.Second,
+		Seed:         seed,
+	}
+}
+
+// Generate builds the schedule.
+func Generate(cfg Config) (*Schedule, error) {
+	if cfg.InitialJoins < 0 || cfg.ChurnJoins < 0 || cfg.ChurnLeaves < 0 {
+		return nil, fmt.Errorf("workload: negative counts in %+v", cfg)
+	}
+	if cfg.ChurnLeaves > cfg.InitialJoins {
+		return nil, fmt.Errorf("workload: %d leaves exceed %d initial joins", cfg.ChurnLeaves, cfg.InitialJoins)
+	}
+	if cfg.InitialJoins > 0 && cfg.WarmUp <= 0 {
+		return nil, fmt.Errorf("workload: warm-up window must be positive")
+	}
+	if cfg.ChurnJoins+cfg.ChurnLeaves > 0 && cfg.Interval <= 0 {
+		return nil, fmt.Errorf("workload: rekey interval must be positive")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	s := &Schedule{}
+	host := 0
+	for i := 0; i < cfg.InitialJoins; i++ {
+		s.Events = append(s.Events, Event{
+			Kind: Join,
+			At:   time.Duration(rng.Int63n(int64(cfg.WarmUp))),
+			Host: host,
+		})
+		host++
+	}
+	// Churn joins.
+	for i := 0; i < cfg.ChurnJoins; i++ {
+		s.Events = append(s.Events, Event{
+			Kind: Join,
+			At:   cfg.WarmUp + time.Duration(rng.Int63n(int64(cfg.Interval))),
+			Host: host,
+		})
+		host++
+	}
+	// Churn leaves: distinct victims among initial joiners (so a victim
+	// is guaranteed to have joined before the interval starts).
+	victims := rng.Perm(cfg.InitialJoins)[:cfg.ChurnLeaves]
+	for _, v := range victims {
+		s.Events = append(s.Events, Event{
+			Kind:   Leave,
+			At:     cfg.WarmUp + time.Duration(rng.Int63n(int64(cfg.Interval))),
+			Victim: v,
+		})
+	}
+	sort.SliceStable(s.Events, func(i, j int) bool { return s.Events[i].At < s.Events[j].At })
+	s.Hosts = host
+	return s, nil
+}

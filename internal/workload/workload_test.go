@@ -1,0 +1,125 @@
+package workload
+
+import (
+	"testing"
+	"time"
+)
+
+func TestGenerateShape(t *testing.T) {
+	cfg := Config{
+		InitialJoins: 100,
+		WarmUp:       1000 * time.Second,
+		ChurnJoins:   20,
+		ChurnLeaves:  30,
+		Interval:     100 * time.Second,
+		Seed:         1,
+	}
+	s, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Events) != 150 {
+		t.Fatalf("events = %d, want 150", len(s.Events))
+	}
+	if s.Hosts != 120 {
+		t.Errorf("hosts = %d, want 120", s.Hosts)
+	}
+	var joins, leaves int
+	victims := make(map[int]bool)
+	hosts := make(map[int]bool)
+	joinTime := make(map[int]time.Duration)
+	for i, e := range s.Events {
+		if i > 0 && e.At < s.Events[i-1].At {
+			t.Fatal("events not time ordered")
+		}
+		switch e.Kind {
+		case Join:
+			joins++
+			if hosts[e.Host] {
+				t.Fatalf("host %d joins twice", e.Host)
+			}
+			hosts[e.Host] = true
+			joinTime[e.Host] = e.At
+		case Leave:
+			leaves++
+			if victims[e.Victim] {
+				t.Fatalf("victim %d leaves twice", e.Victim)
+			}
+			victims[e.Victim] = true
+			if e.At < cfg.WarmUp {
+				t.Fatal("leave before the churn interval")
+			}
+		}
+	}
+	if joins != 120 || leaves != 30 {
+		t.Errorf("joins/leaves = %d/%d, want 120/30", joins, leaves)
+	}
+	// Victims are all initial joiners (host < 100), so they joined
+	// during warm-up, before any leave.
+	for v := range victims {
+		if v >= cfg.InitialJoins {
+			t.Errorf("victim %d is not an initial joiner", v)
+		}
+		if joinTime[v] >= cfg.WarmUp {
+			t.Errorf("victim %d joined during churn", v)
+		}
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	if _, err := Generate(Config{InitialJoins: -1}); err == nil {
+		t.Error("negative joins should fail")
+	}
+	if _, err := Generate(Config{InitialJoins: 5, WarmUp: time.Second, ChurnLeaves: 6, Interval: time.Second}); err == nil {
+		t.Error("more leaves than joiners should fail")
+	}
+	if _, err := Generate(Config{InitialJoins: 5}); err == nil {
+		t.Error("zero warm-up with joins should fail")
+	}
+	if _, err := Generate(Config{InitialJoins: 1, WarmUp: time.Second, ChurnJoins: 1}); err == nil {
+		t.Error("zero interval with churn should fail")
+	}
+}
+
+func TestGenerateDeterminism(t *testing.T) {
+	a, err := Generate(Paper13(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(Paper13(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Events) != len(b.Events) {
+		t.Fatal("same seed, different event counts")
+	}
+	for i := range a.Events {
+		if a.Events[i] != b.Events[i] {
+			t.Fatalf("same seed diverges at event %d", i)
+		}
+	}
+	c, err := Generate(Paper13(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a.Events {
+		if a.Events[i] != c.Events[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical schedules")
+	}
+}
+
+func TestPaper13Shape(t *testing.T) {
+	cfg := Paper13(1)
+	if cfg.InitialJoins != 1024 || cfg.ChurnJoins != 256 || cfg.ChurnLeaves != 256 {
+		t.Errorf("Paper13 = %+v", cfg)
+	}
+	if cfg.WarmUp != 2048*time.Second || cfg.Interval != 512*time.Second {
+		t.Errorf("Paper13 timing = %+v", cfg)
+	}
+}
