@@ -1,0 +1,27 @@
+GO ?= go
+
+.PHONY: ci build vet test race bench
+
+# ci is the full verification gate: static checks plus the race
+# detector over the whole tree. The parallel experiment harness
+# (internal/exp) and the SPT cache (internal/vnet) have dedicated
+# concurrency tests that only bite under -race.
+ci: vet race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test: build
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# bench runs every figure benchmark once; use a larger -benchtime for
+# stable numbers. The Fig06/Fig08 Sequential/Parallel pairs measure the
+# run-level fan-out (speedup requires GOMAXPROCS > 1).
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime 1x .

@@ -6,6 +6,8 @@ package tmesh
 
 import (
 	"math/rand"
+	"reflect"
+	"runtime"
 	"testing"
 	"time"
 
@@ -60,6 +62,73 @@ func BenchmarkFig08RekeyLatencyGTITM1024(b *testing.B) {
 	benchLatency(b, exp.LatencyConfig{
 		Topology: exp.GTITM, Joins: 192, Runs: 1, Points: 10, Assign: benchAssign(),
 	})
+}
+
+// --- Sequential-vs-parallel pairs for the run-level fan-out ---
+//
+// Compare with `go test -bench 'Fig0[68].*Runs' -benchtime=1x`. The
+// parallel variants first assert that a reduced-size parallel execution
+// reproduces the sequential series exactly, then time the full
+// configuration. Speedup requires GOMAXPROCS > 1; at GOMAXPROCS = 1 the
+// pairs should time within noise of each other.
+
+func fig06RunsConfig(parallel int) exp.LatencyConfig {
+	return exp.LatencyConfig{
+		Topology: exp.PlanetLab, Joins: 48, Runs: 100, Points: 10,
+		Assign: benchAssign(), Parallel: parallel,
+	}
+}
+
+func fig08RunsConfig(parallel int) exp.LatencyConfig {
+	return exp.LatencyConfig{
+		Topology: exp.GTITM, Joins: 96, Runs: 8, Points: 10,
+		Assign: benchAssign(), Parallel: parallel,
+	}
+}
+
+// assertParallelMatchesSequential verifies the determinism guarantee on
+// a reduced run count before the timed section starts.
+func assertParallelMatchesSequential(b *testing.B, cfg exp.LatencyConfig) {
+	b.Helper()
+	seq := cfg
+	seq.Runs = 8
+	seq.Parallel = 1
+	seq.Seed = 1
+	par := seq
+	par.Parallel = runtime.GOMAXPROCS(0)
+	want, err := exp.RunLatency(seq)
+	if err != nil {
+		b.Fatal(err)
+	}
+	got, err := exp.RunLatency(par)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if !reflect.DeepEqual(want.Series, got.Series) {
+		b.Fatal("parallel series differ from sequential output")
+	}
+}
+
+func BenchmarkFig06Sequential100Runs(b *testing.B) {
+	benchLatency(b, fig06RunsConfig(1))
+}
+
+func BenchmarkFig06Parallel100Runs(b *testing.B) {
+	cfg := fig06RunsConfig(runtime.GOMAXPROCS(0))
+	assertParallelMatchesSequential(b, cfg)
+	b.ResetTimer()
+	benchLatency(b, cfg)
+}
+
+func BenchmarkFig08Sequential8Runs(b *testing.B) {
+	benchLatency(b, fig08RunsConfig(1))
+}
+
+func BenchmarkFig08Parallel8Runs(b *testing.B) {
+	cfg := fig08RunsConfig(runtime.GOMAXPROCS(0))
+	assertParallelMatchesSequential(b, cfg)
+	b.ResetTimer()
+	benchLatency(b, cfg)
 }
 
 func BenchmarkFig09DataLatencyPlanetLab(b *testing.B) {

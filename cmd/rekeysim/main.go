@@ -36,10 +36,12 @@ func main() {
 func run(args []string) int {
 	fs := flag.NewFlagSet("rekeysim", flag.ContinueOnError)
 	var (
-		seed   = fs.Int64("seed", 1, "base random seed")
-		scale  = fs.Float64("scale", 1, "shrink factor: group sizes and runs are multiplied by this")
-		runs   = fs.Int("runs", 0, "override the per-figure default number of runs")
-		points = fs.Int("points", 20, "inverse-CDF points per curve")
+		seed     = fs.Int64("seed", 1, "base random seed")
+		scale    = fs.Float64("scale", 1, "shrink factor: group sizes and runs are multiplied by this")
+		runs     = fs.Int("runs", 0, "override the per-figure default number of runs")
+		points   = fs.Int("points", 20, "inverse-CDF points per curve")
+		parallel = fs.Int("parallel", 0, "max concurrent simulation runs; 0 = GOMAXPROCS, 1 = sequential (output is identical either way)")
+		progress = fs.Bool("progress", false, "report per-run wall-clock times on stderr as runs complete")
 	)
 	fs.Usage = func() {
 		fmt.Fprintf(fs.Output(), "usage: rekeysim [flags] <fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14|joincost|ablation|packets|loss|gnp|congestion|all>\n")
@@ -52,7 +54,10 @@ func run(args []string) int {
 		fs.Usage()
 		return 2
 	}
-	r := runner{seed: *seed, scale: *scale, runsOverride: *runs, points: *points}
+	// -parallel applies to every experiment, including the runners that
+	// take no explicit config (threshold sweep, GNP comparison).
+	exp.SetDefaultParallelism(*parallel)
+	r := runner{seed: *seed, scale: *scale, runsOverride: *runs, points: *points, parallel: *parallel, progress: *progress}
 	if err := r.dispatch(fs.Arg(0)); err != nil {
 		fmt.Fprintln(os.Stderr, "rekeysim:", err)
 		return 1
@@ -65,6 +70,19 @@ type runner struct {
 	scale        float64
 	runsOverride int
 	points       int
+	parallel     int
+	progress     bool
+}
+
+// progressFn reports per-run wall-clock on stderr (comment lines, so
+// redirected tsv output stays clean) when -progress is set.
+func (r runner) progressFn(label string) exp.Progress {
+	if !r.progress {
+		return nil
+	}
+	return func(unit int, elapsed time.Duration) {
+		fmt.Fprintf(os.Stderr, "# %s: run %d done in %v\n", label, unit, elapsed.Round(time.Millisecond))
+	}
 }
 
 func (r runner) n(full int) int {
@@ -139,6 +157,8 @@ func (r runner) dispatch(name string) error {
 
 func (r runner) latency(title string, cfg exp.LatencyConfig) error {
 	fmt.Println("#", title)
+	cfg.Parallel = r.parallel
+	cfg.Progress = r.progressFn(title)
 	res, err := exp.RunLatency(cfg)
 	if err != nil {
 		return err
@@ -173,6 +193,7 @@ func (r runner) fig12() error {
 	fmt.Printf("# Fig 12: rekey cost vs (J, L), N=%d, modified / original / cluster-heuristic key trees\n", n)
 	cells, err := exp.RunRekeyCost(exp.RekeyCostConfig{
 		N: n, JValues: grid, LValues: grid, Runs: r.runs(20), Seed: r.seed,
+		Parallel: r.parallel, Progress: r.progressFn("fig12"),
 	})
 	if err != nil {
 		return err
@@ -192,6 +213,7 @@ func (r runner) fig13() error {
 	fmt.Printf("# Fig 13: rekey bandwidth overhead, GT-ITM, N=%d + %d joins + %d leaves in one interval\n", n, churn, churn)
 	reports, err := exp.RunBandwidth(exp.BandwidthConfig{
 		N: n, ChurnJoins: churn, ChurnLeaves: churn, Seed: r.seed,
+		Parallel: r.parallel, Progress: r.progressFn("fig13"),
 	})
 	if err != nil {
 		return err
@@ -247,6 +269,7 @@ func (r runner) ablation() error {
 	fmt.Printf("# Ablation (Sec 2.6): topology-aware vs scrambled host-to-ID mapping, N=%d, same key tree\n", n)
 	reports, err := exp.RunIDAblation(exp.AblationConfig{
 		N: n, ChurnJoins: churn, ChurnLeaves: churn, Seed: r.seed,
+		Parallel: r.parallel,
 	})
 	if err != nil {
 		return err
@@ -264,7 +287,7 @@ func (r runner) packets() error {
 	n := r.n(512)
 	fmt.Printf("# Ablation (Sec 2.5): encryption-level vs packet-level splitting, N=%d, %d leaves\n", n, n/4)
 	points, err := exp.RunPacketSweep(exp.AblationConfig{
-		N: n, ChurnLeaves: n / 4, Seed: r.seed,
+		N: n, ChurnLeaves: n / 4, Seed: r.seed, Parallel: r.parallel,
 	}, []int{2, 5, 10, 25, 50, 100})
 	if err != nil {
 		return err
@@ -283,7 +306,7 @@ func (r runner) packets() error {
 func (r runner) loss() error {
 	n := r.n(512)
 	fmt.Printf("# Unicast recovery under multicast loss (footnote 1 / [31]), N=%d, %d leaves\n", n, n/8)
-	points, err := exp.RunLossSweep(exp.AblationConfig{N: n, Seed: r.seed},
+	points, err := exp.RunLossSweep(exp.AblationConfig{N: n, Seed: r.seed, Parallel: r.parallel},
 		[]float64{0, 0.01, 0.02, 0.05, 0.10, 0.20})
 	if err != nil {
 		return err
@@ -323,6 +346,7 @@ func (r runner) congestion() error {
 		Frames:               15,
 		FrameSpacing:         250 * time.Millisecond,
 		Seed:                 r.seed,
+		Parallel:             r.parallel,
 	})
 	if err != nil {
 		return err

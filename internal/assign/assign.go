@@ -253,7 +253,17 @@ func (a *Assigner) collect(host vnet.HostID, determined []ident.Digit, known []o
 	for {
 		var target overlay.Record
 		found := false
-		for _, b := range buckets {
+		// Scan buckets in digit order, not map order: the query sequence
+		// decides which records reach the capped buckets first, so a
+		// randomized scan would make the assigned IDs — and every result
+		// derived from them — differ from run to run.
+		digits := make([]ident.Digit, 0, len(buckets))
+		for d := range buckets {
+			digits = append(digits, d)
+		}
+		sort.Ints(digits)
+		for _, d := range digits {
+			b := buckets[d]
 			if len(b) >= a.cfg.CollectTarget {
 				// This subtree reached P; query its members only if
 				// some other bucket still needs records — covered by

@@ -29,7 +29,8 @@ import (
 //     splitting at several packet sizes (end of Section 2.5): "the rekey
 //     bandwidth overhead would be larger".
 
-// AblationConfig drives the ID-assignment ablation.
+// AblationConfig drives the ID-assignment ablation (and, reused for
+// convenience, the packet-split and loss sweeps).
 type AblationConfig struct {
 	N           int
 	ChurnJoins  int
@@ -38,6 +39,15 @@ type AblationConfig struct {
 	Assign assign.Config
 	K      int
 	Seed   int64
+	// Parallel caps the number of measurement units (policies, packet
+	// sizes, loss rates) evaluated concurrently; 0 uses the package
+	// default. The churned group is read-only during measurement and
+	// output keeps unit order, so results are identical at every
+	// setting.
+	Parallel int
+	// Progress, when non-nil, receives each unit's index and wall-clock
+	// duration as it completes.
+	Progress Progress
 }
 
 // AblationReport compares one assignment policy.
@@ -149,16 +159,23 @@ func RunIDAblation(cfg AblationConfig) ([]AblationReport, error) {
 		}
 	}
 
-	var out []AblationReport
-	for _, p := range []struct {
+	// Both directories are fully churned and only read from here on, so
+	// the two policy measurements run concurrently.
+	policies := []struct {
 		name string
 		dir  *overlay.Directory
-	}{{"topology-aware", awareDir}, {"scrambled", scrambledDir}} {
-		rep, err := measureIDPolicy(p.name, p.dir, msg)
+	}{{"topology-aware", awareDir}, {"scrambled", scrambledDir}}
+	out := make([]AblationReport, len(policies))
+	err = forEachUnit(len(policies), workersFor(cfg.Parallel, len(policies)), cfg.Progress, func(i int) error {
+		rep, err := measureIDPolicy(policies[i].name, policies[i].dir, msg)
 		if err != nil {
-			return nil, fmt.Errorf("exp: policy %s: %w", p.name, err)
+			return fmt.Errorf("exp: policy %s: %w", policies[i].name, err)
 		}
-		out = append(out, *rep)
+		out[i] = *rep
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -278,23 +295,31 @@ func RunPacketSweep(cfg AblationConfig, packetSizes []int) ([]PacketSweepPoint, 
 		return PacketSweepPoint{MeanReceived: d.Mean(), MaxReceived: d.Max()}, nil
 	}
 
-	var out []PacketSweepPoint
-	pt, err := measure(split.Options{Mode: split.PerEncryption})
-	if err != nil {
-		return nil, err
-	}
-	pt.PacketSize = 0
-	out = append(out, pt)
 	for _, size := range packetSizes {
 		if size < 1 {
 			return nil, fmt.Errorf("exp: packet size must be >= 1, got %d", size)
 		}
-		pt, err := measure(split.Options{Mode: split.PerPacket, PacketSize: size})
+	}
+	// Unit 0 is the paper's encryption-level splitting; units 1.. are
+	// the packet sizes. The group is read-only during measurement.
+	out := make([]PacketSweepPoint, 1+len(packetSizes))
+	err = forEachUnit(len(out), workersFor(cfg.Parallel, len(out)), cfg.Progress, func(i int) error {
+		opts := split.Options{Mode: split.PerEncryption}
+		size := 0
+		if i > 0 {
+			size = packetSizes[i-1]
+			opts = split.Options{Mode: split.PerPacket, PacketSize: size}
+		}
+		pt, err := measure(opts)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		pt.PacketSize = size
-		out = append(out, pt)
+		out[i] = pt
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -59,6 +59,14 @@ type BandwidthConfig struct {
 	Seed int64
 	// Protocols restricts the run; empty = all seven.
 	Protocols []Protocol
+	// Parallel caps the number of protocols measured concurrently; 0
+	// uses the package default. The post-churn world is read-only
+	// during measurement and reports keep presentation order, so the
+	// output is identical at every setting.
+	Parallel int
+	// Progress, when non-nil, receives each protocol's index (in
+	// Protocols order) and wall-clock duration as it completes.
+	Progress Progress
 }
 
 // BandwidthReport is one protocol's Fig. 13 data.
@@ -102,13 +110,20 @@ func RunBandwidth(cfg BandwidthConfig) ([]BandwidthReport, error) {
 	if err != nil {
 		return nil, err
 	}
-	reports := make([]BandwidthReport, 0, len(protocols))
-	for _, p := range protocols {
-		rep, err := w.run(p)
+	// The world is fully built at this point and only read below: every
+	// protocol measurement allocates its own report maps, so protocols
+	// can run concurrently.
+	reports := make([]BandwidthReport, len(protocols))
+	err = forEachUnit(len(protocols), workersFor(cfg.Parallel, len(protocols)), cfg.Progress, func(i int) error {
+		rep, err := w.run(protocols[i])
 		if err != nil {
-			return nil, fmt.Errorf("exp: protocol %s: %w", p, err)
+			return fmt.Errorf("exp: protocol %s: %w", protocols[i], err)
 		}
-		reports = append(reports, *rep)
+		reports[i] = *rep
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return reports, nil
 }

@@ -41,6 +41,14 @@ type CongestionConfig struct {
 	Assign       assign.Config
 	K            int
 	Seed         int64
+	// Parallel caps the number of scenarios simulated concurrently; 0
+	// uses the package default. Every scenario owns its event simulator
+	// and uplink model and only reads the shared group, so the reports
+	// are identical at every setting.
+	Parallel int
+	// Progress, when non-nil, receives each scenario's index and
+	// wall-clock duration as it completes.
+	Progress Progress
 }
 
 // CongestionReport measures a data stream's delivery while a rekey
@@ -153,19 +161,30 @@ func RunCongestion(cfg CongestionConfig) ([]CongestionReport, error) {
 		}
 	}
 
-	var out []CongestionReport
-	for _, scenario := range []string{"no-rekey", "rekey-unsplit", "rekey-split"} {
-		rep, err := runCongestionScenario(cfg, dir, msg, sender, scenario)
-		if err != nil {
-			return nil, fmt.Errorf("exp: scenario %s: %w", scenario, err)
+	// Group construction is done; each scenario races the same burst on
+	// its own fresh simulator and uplinks, so the scenarios themselves
+	// run concurrently.
+	scenarios := []string{"no-rekey", "rekey-unsplit", "rekey-split", "nice-unsplit"}
+	out := make([]CongestionReport, len(scenarios))
+	err = forEachUnit(len(scenarios), workersFor(cfg.Parallel, len(scenarios)), cfg.Progress, func(i int) error {
+		var (
+			rep *CongestionReport
+			err error
+		)
+		if scenarios[i] == "nice-unsplit" {
+			rep, err = runNICECongestion(cfg, dir, np, msg, sender)
+		} else {
+			rep, err = runCongestionScenario(cfg, dir, msg, sender, scenarios[i])
 		}
-		out = append(out, *rep)
-	}
-	rep, err := runNICECongestion(cfg, dir, np, msg, sender)
+		if err != nil {
+			return fmt.Errorf("exp: scenario %s: %w", scenarios[i], err)
+		}
+		out[i] = *rep
+		return nil
+	})
 	if err != nil {
-		return nil, fmt.Errorf("exp: scenario nice-unsplit: %w", err)
+		return nil, err
 	}
-	out = append(out, *rep)
 	return out, nil
 }
 

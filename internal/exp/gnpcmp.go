@@ -48,50 +48,56 @@ func RunGNPComparison(joins int, seed int64, cfg assign.Config) ([]GNPReport, er
 		return nil, err
 	}
 
-	var out []GNPReport
-
-	// Strategy 1: the distributed protocol.
-	{
-		rng := rand.New(rand.NewSource(seed))
-		dir, err := overlay.NewDirectory(cfg.Params, 4, net, 0)
-		if err != nil {
-			return nil, err
-		}
-		assigner, err := assign.New(cfg, dir, rng)
-		if err != nil {
-			return nil, err
-		}
-		rep, err := measureStrategy("distributed", dir, joins, func(host vnet.HostID) (ident.ID, assign.Stats, error) {
-			return assigner.AssignID(host)
-		})
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, *rep)
+	// Both strategies build their own directory and RNG over the shared
+	// (immutable) delay matrix, so they run concurrently under the
+	// package-wide parallelism default.
+	strategies := []func() (*GNPReport, error){
+		// Strategy 1: the distributed protocol.
+		func() (*GNPReport, error) {
+			rng := rand.New(rand.NewSource(seed))
+			dir, err := overlay.NewDirectory(cfg.Params, 4, net, 0)
+			if err != nil {
+				return nil, err
+			}
+			assigner, err := assign.New(cfg, dir, rng)
+			if err != nil {
+				return nil, err
+			}
+			return measureStrategy("distributed", dir, joins, func(host vnet.HostID) (ident.ID, assign.Stats, error) {
+				return assigner.AssignID(host)
+			})
+		},
+		// Strategy 2: GNP centralized computing at the key server.
+		func() (*GNPReport, error) {
+			rng := rand.New(rand.NewSource(seed))
+			space, err := gnp.NewSpace(net, gnp.Config{Seed: seed})
+			if err != nil {
+				return nil, err
+			}
+			central, err := gnp.NewCentralizedAssigner(cfg, space, rng)
+			if err != nil {
+				return nil, err
+			}
+			dir, err := overlay.NewDirectory(cfg.Params, 4, net, 0)
+			if err != nil {
+				return nil, err
+			}
+			return measureStrategy("gnp-centralized", dir, joins, func(host vnet.HostID) (ident.ID, assign.Stats, error) {
+				return central.AssignID(host)
+			})
+		},
 	}
-
-	// Strategy 2: GNP centralized computing at the key server.
-	{
-		rng := rand.New(rand.NewSource(seed))
-		space, err := gnp.NewSpace(net, gnp.Config{Seed: seed})
+	out := make([]GNPReport, len(strategies))
+	err = forEachUnit(len(strategies), workersFor(0, len(strategies)), nil, func(i int) error {
+		rep, err := strategies[i]()
 		if err != nil {
-			return nil, err
+			return err
 		}
-		central, err := gnp.NewCentralizedAssigner(cfg, space, rng)
-		if err != nil {
-			return nil, err
-		}
-		dir, err := overlay.NewDirectory(cfg.Params, 4, net, 0)
-		if err != nil {
-			return nil, err
-		}
-		rep, err := measureStrategy("gnp-centralized", dir, joins, func(host vnet.HostID) (ident.ID, assign.Stats, error) {
-			return central.AssignID(host)
-		})
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, *rep)
+		out[i] = *rep
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -62,6 +62,15 @@ type LatencyConfig struct {
 	// SkipNICE omits the NICE baseline (Fig. 14 plots T-mesh only).
 	SkipNICE bool
 	Seed     int64
+	// Parallel caps the number of runs simulated concurrently: 0 uses
+	// the package default (SetDefaultParallelism / GOMAXPROCS), 1
+	// forces sequential execution. Runs are independent by construction
+	// (per-run seed Seed + run*7919) and merged in run order, so the
+	// result is identical at every setting.
+	Parallel int
+	// Progress, when non-nil, receives each run's index and wall-clock
+	// duration as it completes. Calls are serialised.
+	Progress Progress
 }
 
 // LatencySeries is one protocol's three inverse-CDF curves.
@@ -105,15 +114,13 @@ func buildNetwork(kind TopologyKind, hosts int, seed int64) (vnet.Network, error
 		}
 		return vnet.NewPlanetLab(cfg, seed)
 	case GTITM:
-		return vnet.NewGTITM(DefaultGTITMConfigFor(hosts), hosts, seed)
+		// The paper's fixed 5000-router topology accommodates every
+		// group size used by the evaluation; hosts only sets how many
+		// end hosts attach to it.
+		return vnet.NewGTITM(vnet.DefaultGTITMConfig(), hosts, seed)
 	default:
 		return nil, fmt.Errorf("exp: unknown topology %q", kind)
 	}
-}
-
-// DefaultGTITMConfigFor returns the paper's GT-ITM configuration.
-func DefaultGTITMConfigFor(hosts int) vnet.GTITMConfig {
-	return vnet.DefaultGTITMConfig()
 }
 
 // buildTmeshGroup assigns IDs and joins all users (concurrent joins in
@@ -143,73 +150,29 @@ func buildTmeshGroup(cfg LatencyConfig, net vnet.Network, order []vnet.HostID, r
 	return dir, recs, nil
 }
 
-// RunLatency executes one of Figs. 6-11/14.
+// RunLatency executes one of Figs. 6-11/14. Runs execute concurrently
+// up to Config.Parallel workers; each run derives every random choice
+// from its own seed, and per-run results are merged in run order, so
+// the output is identical to a sequential execution.
 func RunLatency(cfg LatencyConfig) (*LatencyResult, error) {
 	cfg.setDefaults()
 	if cfg.Joins < 2 {
 		return nil, fmt.Errorf("exp: need at least 2 joins, got %d", cfg.Joins)
 	}
 
-	tmeshRuns := make([]runDists, 0, cfg.Runs)
-	niceRuns := make([]runDists, 0, cfg.Runs)
-
-	for run := 0; run < cfg.Runs; run++ {
-		seed := cfg.Seed + int64(run)*7919
-		rng := rand.New(rand.NewSource(seed))
-		net, err := buildNetwork(cfg.Topology, cfg.Joins+1, seed)
+	tmeshRuns := make([]runDists, cfg.Runs)
+	niceRuns := make([]runDists, cfg.Runs)
+	err := forEachUnit(cfg.Runs, workersFor(cfg.Parallel, cfg.Runs), cfg.Progress, func(run int) error {
+		tm, nc, err := runLatencyOnce(cfg, run)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		// Host 0 is the key server; users occupy hosts 1..Joins in a
-		// random join order per run ("for each run we changed user
-		// joining times").
-		order := make([]vnet.HostID, cfg.Joins)
-		for i := range order {
-			order[i] = vnet.HostID(i + 1)
-		}
-		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
-
-		dir, recs, err := buildTmeshGroup(cfg, net, order, rng)
-		if err != nil {
-			return nil, err
-		}
-		var senderID ident.ID
-		senderIsServer := !cfg.DataTransport
-		senderHost := vnet.HostID(0)
-		if cfg.DataTransport {
-			pick := recs[rng.Intn(len(recs))]
-			senderID, senderHost = pick.ID, pick.Host
-		}
-		res, err := tmesh.Multicast(tmesh.Config[int]{
-			Dir:            dir,
-			SenderID:       senderID,
-			SenderIsServer: senderIsServer,
-		}, 1)
-		if err != nil {
-			return nil, err
-		}
-		tmeshRuns = append(tmeshRuns, collectTmesh(res, recs, senderID))
-
-		if !cfg.SkipNICE {
-			np, err := nice.New(net, nice.DefaultK)
-			if err != nil {
-				return nil, err
-			}
-			// Same join order, sequential joins as in the paper.
-			for _, h := range order {
-				if err := np.Join(h); err != nil {
-					return nil, err
-				}
-			}
-			nres, err := np.Multicast(senderHost, nice.Options{
-				FromServer: senderIsServer,
-				ServerHost: 0,
-			})
-			if err != nil {
-				return nil, err
-			}
-			niceRuns = append(niceRuns, collectNICE(nres, order, senderHost, senderIsServer))
-		}
+		tmeshRuns[run] = tm
+		niceRuns[run] = nc
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 
 	result := &LatencyResult{Config: cfg, Headlines: make(map[string]string)}
@@ -256,6 +219,71 @@ func RunLatency(cfg LatencyConfig) (*LatencyResult, error) {
 	return result, nil
 }
 
+// runLatencyOnce executes one fully independent simulation run: it
+// builds its own network, overlay, and baselines from the run-derived
+// seed and returns the T-mesh (and, unless SkipNICE, NICE)
+// distributions. It shares no mutable state with other runs, which is
+// what makes RunLatency's fan-out safe.
+func runLatencyOnce(cfg LatencyConfig, run int) (tm, nc runDists, err error) {
+	seed := cfg.Seed + int64(run)*7919
+	rng := rand.New(rand.NewSource(seed))
+	net, err := buildNetwork(cfg.Topology, cfg.Joins+1, seed)
+	if err != nil {
+		return tm, nc, err
+	}
+	// Host 0 is the key server; users occupy hosts 1..Joins in a
+	// random join order per run ("for each run we changed user
+	// joining times").
+	order := make([]vnet.HostID, cfg.Joins)
+	for i := range order {
+		order[i] = vnet.HostID(i + 1)
+	}
+	rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+
+	dir, recs, err := buildTmeshGroup(cfg, net, order, rng)
+	if err != nil {
+		return tm, nc, err
+	}
+	var senderID ident.ID
+	senderIsServer := !cfg.DataTransport
+	senderHost := vnet.HostID(0)
+	if cfg.DataTransport {
+		pick := recs[rng.Intn(len(recs))]
+		senderID, senderHost = pick.ID, pick.Host
+	}
+	res, err := tmesh.Multicast(tmesh.Config[int]{
+		Dir:            dir,
+		SenderID:       senderID,
+		SenderIsServer: senderIsServer,
+	}, 1)
+	if err != nil {
+		return tm, nc, err
+	}
+	tm = collectTmesh(res, recs, senderID, cfg.DataTransport)
+
+	if !cfg.SkipNICE {
+		np, err := nice.New(net, nice.DefaultK)
+		if err != nil {
+			return tm, nc, err
+		}
+		// Same join order, sequential joins as in the paper.
+		for _, h := range order {
+			if err := np.Join(h); err != nil {
+				return tm, nc, err
+			}
+		}
+		nres, err := np.Multicast(senderHost, nice.Options{
+			FromServer: senderIsServer,
+			ServerHost: 0,
+		})
+		if err != nil {
+			return tm, nc, err
+		}
+		nc = collectNICE(nres, order, senderHost, senderIsServer)
+	}
+	return tm, nc, nil
+}
+
 // runDists bundles one run's three distributions.
 type runDists struct{ stress, delay, rdp *metrics.Distribution }
 
@@ -267,7 +295,14 @@ func poolDelay(runs []runDists) *metrics.Distribution {
 	return metrics.NewDistribution(all)
 }
 
-func collectTmesh(res *tmesh.Result, recs []overlay.Record, senderID ident.ID) runDists {
+// collectTmesh gathers one run's distributions. senderIsUser states
+// explicitly whether the sender is a group member (data transport)
+// rather than inferring it from the ID value: every ID — including the
+// all-zero one — is legitimately assignable to a user, so an ID
+// sentinel would miscount samples for whichever user holds it. The
+// sender's delay/RDP slot is padded with zeros at its rank position (as
+// collectNICE does) so all runs have equal sample counts.
+func collectTmesh(res *tmesh.Result, recs []overlay.Record, senderID ident.ID, senderIsUser bool) runDists {
 	var stress, delay, rdp []float64
 	for _, rec := range recs {
 		st := res.Users[rec.ID.Key()]
@@ -275,16 +310,13 @@ func collectTmesh(res *tmesh.Result, recs []overlay.Record, senderID ident.ID) r
 			st = &tmesh.UserStats{}
 		}
 		stress = append(stress, float64(st.Stress))
-		if rec.ID.Equal(senderID) {
-			continue // the sender has no delivery delay
+		if senderIsUser && rec.ID.Equal(senderID) {
+			delay = append(delay, 0) // the sender has no delivery delay
+			rdp = append(rdp, 0)
+			continue
 		}
 		delay = append(delay, float64(st.Delay)/float64(time.Millisecond))
 		rdp = append(rdp, st.RDP)
-	}
-	// Pad sender position so all runs have equal sample counts.
-	if len(delay) < len(recs) && !senderID.IsZero() {
-		delay = append(delay, 0)
-		rdp = append(rdp, 0)
 	}
 	return runDists{
 		metrics.NewDistribution(stress), metrics.NewDistribution(delay), metrics.NewDistribution(rdp),
@@ -341,7 +373,10 @@ func PaperThresholdVariants() []ThresholdVariant {
 }
 
 // RunThresholdSweep executes Fig. 14: T-mesh rekey latency for each
-// threshold variant.
+// threshold variant. Variants execute sequentially, but each variant's
+// runs fan out under the package-wide parallelism default
+// (SetDefaultParallelism), so the sweep scales with -parallel like the
+// other runners.
 func RunThresholdSweep(joins, runs int, seed int64, variants []ThresholdVariant) (map[string]*LatencyResult, error) {
 	if len(variants) == 0 {
 		variants = PaperThresholdVariants()

@@ -97,8 +97,11 @@ func RunLossSweep(cfg AblationConfig, lossRates []float64) ([]LossPoint, error) 
 		return nil, err
 	}
 
-	out := make([]LossPoint, 0, len(lossRates))
-	for _, p := range lossRates {
+	// Each loss rate derives its own drop RNG from the configured seed
+	// and only reads the churned group, so the rates run concurrently.
+	out := make([]LossPoint, len(lossRates))
+	err = forEachUnit(len(lossRates), workersFor(cfg.Parallel, len(lossRates)), cfg.Progress, func(i int) error {
+		p := lossRates[i]
 		lossRng := rand.New(rand.NewSource(cfg.Seed ^ int64(p*1e6) ^ 0x5bd1e995))
 		var drop func(from, to vnet.HostID) bool
 		if p > 0 {
@@ -110,7 +113,7 @@ func RunLossSweep(cfg AblationConfig, lossRates []float64) ([]LossPoint, error) 
 			DropHop: drop,
 		}, msg)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		pt := LossPoint{
 			LossRate:    p,
@@ -123,7 +126,11 @@ func RunLossSweep(cfg AblationConfig, lossRates []float64) ([]LossPoint, error) 
 		if len(res.Recovered) > 0 {
 			pt.ServerUnitsPerRecovered = float64(res.ServerUnits) / float64(len(res.Recovered))
 		}
-		out = append(out, pt)
+		out[i] = pt
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -28,6 +28,13 @@ type RekeyCostConfig struct {
 	// Assign configures the ID space; zero value = paper defaults.
 	Assign assign.Config
 	Seed   int64
+	// Parallel caps the number of runs simulated concurrently; 0 uses
+	// the package default. Per-run sums are merged in run order, so the
+	// averages are identical at every setting.
+	Parallel int
+	// Progress, when non-nil, receives each run's index and wall-clock
+	// duration as it completes.
+	Progress Progress
 }
 
 // RekeyCostCell is one (J, L) grid point.
@@ -61,31 +68,51 @@ func RunRekeyCost(cfg RekeyCostConfig) ([]RekeyCostCell, error) {
 		}
 	}
 
-	cells := make([]RekeyCostCell, 0, len(cfg.JValues)*len(cfg.LValues))
-	sums := make(map[[2]int]*RekeyCostCell)
-	for _, j := range cfg.JValues {
-		for _, l := range cfg.LValues {
-			c := &RekeyCostCell{J: j, L: l}
-			sums[[2]int{j, l}] = c
-		}
-	}
-
-	for run := 0; run < cfg.Runs; run++ {
+	// Each run accumulates into its own cell map; the maps are merged
+	// in run order afterwards, so the float additions happen in exactly
+	// the sequence a sequential execution would produce.
+	perRun := make([]map[[2]int]*RekeyCostCell, cfg.Runs)
+	err := forEachUnit(cfg.Runs, workersFor(cfg.Parallel, cfg.Runs), cfg.Progress, func(run int) error {
+		sums := newCostCells(cfg)
 		seed := cfg.Seed + int64(run)*104729
 		if err := runRekeyCostOnce(cfg, seed, sums); err != nil {
-			return nil, err
+			return err
 		}
+		perRun[run] = sums
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
+
+	cells := make([]RekeyCostCell, 0, len(cfg.JValues)*len(cfg.LValues))
 	for _, j := range cfg.JValues {
 		for _, l := range cfg.LValues {
-			c := sums[[2]int{j, l}]
+			c := RekeyCostCell{J: j, L: l}
+			for _, sums := range perRun {
+				r := sums[[2]int{j, l}]
+				c.Modified += r.Modified
+				c.Original += r.Original
+				c.Clustered += r.Clustered
+			}
 			c.Modified /= float64(cfg.Runs)
 			c.Original /= float64(cfg.Runs)
 			c.Clustered /= float64(cfg.Runs)
-			cells = append(cells, *c)
+			cells = append(cells, c)
 		}
 	}
 	return cells, nil
+}
+
+// newCostCells allocates one zeroed cell per (J, L) grid point.
+func newCostCells(cfg RekeyCostConfig) map[[2]int]*RekeyCostCell {
+	sums := make(map[[2]int]*RekeyCostCell, len(cfg.JValues)*len(cfg.LValues))
+	for _, j := range cfg.JValues {
+		for _, l := range cfg.LValues {
+			sums[[2]int{j, l}] = &RekeyCostCell{J: j, L: l}
+		}
+	}
+	return sums
 }
 
 // world is the base group state shared by all grid cells of one run.

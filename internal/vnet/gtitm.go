@@ -79,8 +79,14 @@ type GTITM struct {
 	hostRouter []int32         // gateway router per host
 	hostAccess []time.Duration // access-link RTT per host
 
-	mu   sync.Mutex
-	spts map[int32]*spt // shortest-path trees keyed by source router
+	// Shortest-path trees are computed lazily per source router and
+	// shared by every concurrent reader. The map is guarded by an
+	// RWMutex (read-locked on the hit path); each entry carries its own
+	// sync.Once so Dijkstra runs outside the map lock, exactly once per
+	// source, and distinct sources compute in parallel without
+	// convoying behind one global lock.
+	mu   sync.RWMutex
+	spts map[int32]*sptEntry // shortest-path trees keyed by source router
 }
 
 var _ Network = (*GTITM)(nil)
@@ -89,6 +95,14 @@ type spt struct {
 	dist     []time.Duration // RTT from source router to each router
 	prevLink []int32         // incoming link on the shortest path, -1 at source
 	prevNode []int32
+}
+
+// sptEntry is one cache slot: once guards the single Dijkstra run that
+// fills t, so callers racing on the same source block only on each
+// other, not on the whole cache.
+type sptEntry struct {
+	once sync.Once
+	t    *spt
 }
 
 // NewGTITM generates a topology with cfg and attaches nHosts hosts, all
@@ -102,7 +116,7 @@ func NewGTITM(cfg GTITMConfig, nHosts int, seed int64) (*GTITM, error) {
 	}
 	rng := rand.New(rand.NewSource(seed))
 
-	g := &GTITM{cfg: cfg, spts: make(map[int32]*spt)}
+	g := &GTITM{cfg: cfg, spts: make(map[int32]*sptEntry)}
 	g.build(rng)
 	g.attach(nHosts, rng)
 	return g, nil
@@ -266,29 +280,54 @@ func (g *GTITM) GatewayRTT(a, b HostID) time.Duration {
 }
 
 // PathLinks implements Network: the router-level shortest path between
-// the two hosts' gateways.
+// the two hosts' gateways. A disconnected gateway pair (impossible in
+// generated topologies, which are connected by construction, but
+// reachable through hand-built graphs) yields nil, the interface's
+// "no modelled route" value; use PathLinksOK to tell the two apart.
 func (g *GTITM) PathLinks(a, b HostID) []LinkID {
+	path, _ := g.PathLinksOK(a, b)
+	return path
+}
+
+// PathLinksOK is PathLinks with an explicit reachability report: ok is
+// false when b's gateway router cannot be reached from a's.
+func (g *GTITM) PathLinksOK(a, b HostID) ([]LinkID, bool) {
 	ra, rb := g.hostRouter[a], g.hostRouter[b]
 	if ra == rb {
-		return nil
+		return nil, true
 	}
 	t := g.sptFor(ra)
+	if t.prevNode[rb] == -1 {
+		return nil, false
+	}
 	var path []LinkID
 	for at := rb; at != ra; at = t.prevNode[at] {
 		path = append(path, LinkID(t.prevLink[at]))
 	}
-	return path
+	return path, true
 }
 
+// sptFor returns the shortest-path tree rooted at src, computing it at
+// most once. The fast path is a read lock on the cache map; a miss
+// installs an empty entry under the write lock and runs Dijkstra under
+// the entry's own once, outside the map lock.
 func (g *GTITM) sptFor(src int32) *spt {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	if t, ok := g.spts[src]; ok {
-		return t
+	g.mu.RLock()
+	e := g.spts[src]
+	g.mu.RUnlock()
+	if e == nil {
+		g.mu.Lock()
+		if g.spts == nil {
+			g.spts = make(map[int32]*sptEntry)
+		}
+		if e = g.spts[src]; e == nil {
+			e = &sptEntry{}
+			g.spts[src] = e
+		}
+		g.mu.Unlock()
 	}
-	t := g.dijkstra(src)
-	g.spts[src] = t
-	return t
+	e.once.Do(func() { e.t = g.dijkstra(src) })
+	return e.t
 }
 
 type pqItem struct {

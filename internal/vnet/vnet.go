@@ -49,7 +49,9 @@ type Network interface {
 	NumLinks() int
 	// PathLinks returns the link-level route between two hosts' gateway
 	// routers (excluding the access links), or nil when links are not
-	// modelled. The caller must not mutate the returned slice.
+	// modelled or no route exists. The caller must not mutate the
+	// returned slice. Implementations must be safe for concurrent use:
+	// the experiment harness issues path lookups from parallel runs.
 	PathLinks(a, b HostID) []LinkID
 }
 
