@@ -1,12 +1,14 @@
 GO ?= go
+FUZZTIME ?= 5s
 
-.PHONY: ci build vet test race bench
+.PHONY: ci build vet test race bench soak-short fuzz
 
-# ci is the full verification gate: static checks plus the race
-# detector over the whole tree. The parallel experiment harness
-# (internal/exp) and the SPT cache (internal/vnet) have dedicated
-# concurrency tests that only bite under -race.
-ci: vet race
+# ci is the full verification gate: static checks, the race detector
+# over the whole tree (the parallel experiment harness in internal/exp
+# and the SPT cache in internal/vnet have concurrency tests that only
+# bite under -race; the chaos soak acceptance tests run here too), and
+# a short fuzz pass over the wire decoders.
+ci: vet race fuzz
 
 build:
 	$(GO) build ./...
@@ -19,6 +21,21 @@ test: build
 
 race:
 	$(GO) test -race ./...
+
+# soak-short is the race-enabled chaos soak: the full acceptance
+# scenarios (default config, byte-identical replay, 20% hop loss) with
+# every paper-invariant auditor armed.
+soak-short:
+	$(GO) test -race ./internal/chaos -run Soak
+
+# fuzz gives each wire decoder a short budget on top of the committed
+# seed corpus (internal/wire/testdata/fuzz, regenerated with
+# `go run ./internal/wire/gencorpus`). `go test -fuzz` takes one
+# harness at a time, hence the three invocations.
+fuzz:
+	$(GO) test ./internal/wire -run '^$$' -fuzz '^FuzzUnmarshalRekey$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/wire -run '^$$' -fuzz '^FuzzUnmarshalQueryReply$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/wire -run '^$$' -fuzz '^FuzzUnmarshalQuery$$' -fuzztime $(FUZZTIME)
 
 # bench runs every figure benchmark once; use a larger -benchtime for
 # stable numbers. The Fig06/Fig08 Sequential/Parallel pairs measure the

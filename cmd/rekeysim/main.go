@@ -15,6 +15,11 @@
 // (Zhang, Lam, Liu; ICDCS 2005). The -scale flag shrinks group sizes and
 // run counts proportionally for quick exploration; -scale 1 is the
 // paper's full setting.
+//
+// The -soak flag instead runs the deterministic chaos soak
+// (internal/chaos): an N-interval session under fault injection whose
+// per-interval audits check the paper's invariants; the exit status is
+// non-zero when any invariant is violated.
 package main
 
 import (
@@ -26,6 +31,7 @@ import (
 	"time"
 
 	"tmesh/internal/assign"
+	"tmesh/internal/chaos"
 	"tmesh/internal/exp"
 )
 
@@ -42,13 +48,26 @@ func run(args []string) int {
 		points   = fs.Int("points", 20, "inverse-CDF points per curve")
 		parallel = fs.Int("parallel", 0, "max concurrent simulation runs; 0 = GOMAXPROCS, 1 = sequential (output is identical either way)")
 		progress = fs.Bool("progress", false, "report per-run wall-clock times on stderr as runs complete")
+
+		soak          = fs.Bool("soak", false, "run the deterministic chaos soak (internal/chaos) instead of an experiment")
+		soakIntervals = fs.Int("soak-intervals", 0, "override the soak's rekey interval count")
+		soakMembers   = fs.Int("soak-members", 0, "override the soak's initial group size")
+		soakLoss      = fs.Float64("soak-loss", -1, "override the soak's per-hop loss probability")
 	)
 	fs.Usage = func() {
 		fmt.Fprintf(fs.Output(), "usage: rekeysim [flags] <fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14|joincost|ablation|packets|loss|gnp|congestion|all>\n")
+		fmt.Fprintf(fs.Output(), "       rekeysim -soak [-seed N] [-soak-intervals N] [-soak-members N] [-soak-loss P]\n")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *soak {
+		if fs.NArg() != 0 {
+			fs.Usage()
+			return 2
+		}
+		return runSoak(*seed, *soakIntervals, *soakMembers, *soakLoss)
 	}
 	if fs.NArg() != 1 {
 		fs.Usage()
@@ -60,6 +79,37 @@ func run(args []string) int {
 	r := runner{seed: *seed, scale: *scale, runsOverride: *runs, points: *points, parallel: *parallel, progress: *progress}
 	if err := r.dispatch(fs.Arg(0)); err != nil {
 		fmt.Fprintln(os.Stderr, "rekeysim:", err)
+		return 1
+	}
+	return 0
+}
+
+// runSoak drives one chaos soak session and prints its canonical
+// report; the exit status reflects the invariant verdicts, so the soak
+// can gate CI directly.
+func runSoak(seed int64, intervals, members int, loss float64) int {
+	cfg := chaos.DefaultConfig(seed)
+	if intervals > 0 {
+		cfg.Intervals = intervals
+	}
+	if members > 0 {
+		cfg.InitialMembers = members
+	}
+	if loss >= 0 {
+		cfg.HopLoss = loss
+	}
+	e, err := chaos.New(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rekeysim:", err)
+		return 2
+	}
+	rep, err := e.Run()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rekeysim:", err)
+		return 1
+	}
+	fmt.Print(rep.String())
+	if rep.TotalViolations() > 0 {
 		return 1
 	}
 	return 0

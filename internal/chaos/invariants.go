@@ -1,0 +1,220 @@
+package chaos
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"tmesh/internal/recovery"
+)
+
+// An Auditor checks one paper invariant against the engine's live state
+// at an interval boundary. Check returns nil when the invariant holds;
+// a non-nil error becomes a recorded violation (it never aborts the
+// soak, so one bad interval cannot hide later ones). Auditors run in
+// registry order and may fill the stats fields they own.
+type Auditor struct {
+	Name  string
+	Check func(e *Engine, idx int, stats *IntervalStats) error
+}
+
+// defaultAuditors returns the registry in canonical order; the order is
+// part of the report format.
+func defaultAuditors() []Auditor {
+	return []Auditor{
+		{Name: "k-consistency", Check: auditKConsistency},
+		{Name: "delivery", Check: auditDelivery},
+		{Name: "coverage", Check: auditCoverage},
+		{Name: "cluster", Check: auditCluster},
+		{Name: "ladder", Check: auditLadder},
+	}
+}
+
+func joinViolations(vs []string) error {
+	if len(vs) == 0 {
+		return nil
+	}
+	return fmt.Errorf("%s", strings.Join(vs, "; "))
+}
+
+// auditKConsistency checks Definition 3 around every ID that churned
+// since the last audit (join, leave, or crash), using the scoped sweep
+// that covers exactly the entries such a change can affect, plus a
+// periodic full sweep as a safety net for the scoping itself.
+func auditKConsistency(e *Engine, idx int, stats *IntervalStats) error {
+	var vs []string
+	keys := make([]string, 0, len(e.churnSinceAudit))
+	for k := range e.churnSinceAudit {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		id := e.churnSinceAudit[k]
+		if err := e.dir.CheckConsistencyUnder(id.Prefix(e.cfg.Params.Digits)); err != nil {
+			vs = append(vs, fmt.Sprintf("churn at %v: %v", id, err))
+		}
+	}
+	if e.cfg.FullSweepEvery > 0 && (idx+1)%e.cfg.FullSweepEvery == 0 {
+		if err := e.dir.CheckConsistency(); err != nil {
+			vs = append(vs, fmt.Sprintf("full sweep: %v", err))
+		}
+	}
+	return joinViolations(vs)
+}
+
+// auditDelivery checks the Theorem 1 probe: no member ever receives a
+// second copy of the data multicast, and in a fault-free interval (no
+// partition, no configured hop loss) every member alive at send time
+// receives exactly one.
+func auditDelivery(e *Engine, idx int, stats *IntervalStats) error {
+	if e.curData == nil {
+		return fmt.Errorf("no data probe ran this interval")
+	}
+	faultFree := stats.PartitionDomain < 0 && e.cfg.HopLoss == 0
+	var vs []string
+	for _, m := range e.dataMembers {
+		n := 0
+		if st := e.curData.Users[m.key]; st != nil {
+			n = st.Received
+		}
+		if n > 1 {
+			vs = append(vs, fmt.Sprintf("user %s received %d copies (Theorem 1: at most one)", m.key, n))
+		}
+		if n >= 1 {
+			stats.DataDelivered++
+			continue
+		}
+		stats.DataLost++
+		if faultFree && e.alive(m.id) {
+			vs = append(vs, fmt.Sprintf("user %s missed the data multicast in a fault-free interval", m.key))
+		}
+	}
+	return joinViolations(vs)
+}
+
+// auditCoverage checks Lemma 3 / Theorem 2 end to end: every member
+// that was alive and in the key tree when the rekey message went out,
+// and is still a live member at the audit, got its slice of the new
+// keys by some rung of the ladder. It also books the interval's rung
+// and retry counters into the stats.
+func auditCoverage(e *Engine, idx int, stats *IntervalStats) error {
+	lr := e.curLadder
+	if lr == nil {
+		return nil // no churn reached the tree; the old keys stand
+	}
+	stats.UnicastAttempts = lr.UnicastAttempts
+	stats.Retries = lr.Retries
+	stats.MaxBackoff = lr.MaxBackoff
+	msg := lr.Message
+	var vs []string
+	for _, m := range e.rekeyLive {
+		if !e.alive(m.id) {
+			continue // crashed after the send: not a surviving member
+		}
+		if _, present := e.dir.Record(m.id); !present {
+			continue
+		}
+		rung, ok := lr.RungOf[m.key]
+		if !ok {
+			if len(recovery.NeededBy(msg, m.id)) > 0 {
+				vs = append(vs, fmt.Sprintf("surviving member %s never got its key slice", m.key))
+			}
+			continue
+		}
+		switch rung {
+		case recovery.ByMulticast:
+			stats.KeyByMulticast++
+		case recovery.ByUnicast:
+			stats.KeyByUnicast++
+		case recovery.ByResync:
+			stats.KeyByResync++
+		}
+	}
+	return joinViolations(vs)
+}
+
+// auditCluster checks the Appendix B bottom-cluster invariants: every
+// cluster has exactly one leader, the leader is a live member of its
+// own cluster, no member joined strictly before it (equal join times
+// keep the incumbent — the ID tie-break applies only at transfer),
+// leadership epochs never go backwards, and the mirror's membership
+// agrees with the directory in both directions.
+func auditCluster(e *Engine, idx int, stats *IntervalStats) error {
+	var vs []string
+	intervalStart := time.Duration(idx) * e.cfg.IntervalLength
+	seen := make(map[string]bool)
+	for _, p := range e.mirror.prefixes() {
+		pk := p.Key()
+		seen[pk] = true
+		leader, ok := e.mirror.leader(p)
+		if !ok {
+			vs = append(vs, fmt.Sprintf("cluster %s has no leader", pk))
+			continue
+		}
+		if !leader.ID.HasPrefix(p) {
+			vs = append(vs, fmt.Sprintf("cluster %s led by outsider %v", pk, leader.ID))
+		}
+		if _, present := e.dir.Record(leader.ID); !present || !e.mon.Alive(leader.ID) {
+			vs = append(vs, fmt.Sprintf("cluster %s leader %v is dead or departed", pk, leader.ID))
+		}
+		for _, m := range e.mirror.membersOf(p) {
+			if m.JoinTime < leader.JoinTime {
+				vs = append(vs, fmt.Sprintf("cluster %s: member %v joined before leader %v", pk, m.ID, leader.ID))
+			}
+			if _, present := e.dir.Record(m.ID); !present {
+				vs = append(vs, fmt.Sprintf("cluster %s member %v is not in the directory", pk, m.ID))
+			}
+		}
+		if ep, ok := e.mirror.epoch(p); ok {
+			if last, prev := e.lastEpoch[pk]; prev && ep < last {
+				// A cluster that emptied and re-formed since the last audit
+				// legitimately restarts at epoch 0 under a brand-new leader.
+				if !(ep == 0 && leader.JoinTime >= intervalStart) {
+					vs = append(vs, fmt.Sprintf("cluster %s epoch went backwards: %d -> %d", pk, last, ep))
+				}
+			}
+			e.lastEpoch[pk] = ep
+		}
+	}
+	for k := range e.lastEpoch {
+		if !seen[k] {
+			delete(e.lastEpoch, k)
+		}
+	}
+	for _, id := range e.dir.IDs() {
+		if e.mon.Alive(id) && !e.mirror.has(id.Key()) {
+			vs = append(vs, fmt.Sprintf("live member %v missing from the cluster mirror", id))
+		}
+	}
+	return joinViolations(vs)
+}
+
+// auditLadder checks that no recovery chain was left dangling: every
+// user that entered rung 2 either completed some rung or crashed, and
+// every user booked as resynced really carries the resync rung.
+func auditLadder(e *Engine, idx int, stats *IntervalStats) error {
+	lr := e.curLadder
+	if lr == nil {
+		return nil
+	}
+	lr.Finish()
+	var vs []string
+	for _, id := range lr.Recovered {
+		if !e.mon.Alive(id) {
+			continue
+		}
+		if _, present := e.dir.Record(id); !present {
+			continue
+		}
+		if _, ok := lr.RungOf[id.Key()]; !ok {
+			vs = append(vs, fmt.Sprintf("user %v entered recovery but no rung delivered its key", id))
+		}
+	}
+	for _, id := range lr.Resynced {
+		if lr.RungOf[id.Key()] != recovery.ByResync {
+			vs = append(vs, fmt.Sprintf("user %v booked as resynced without the resync rung", id))
+		}
+	}
+	return joinViolations(vs)
+}

@@ -1,0 +1,58 @@
+package chaos
+
+import (
+	"tmesh/internal/cluster"
+	"tmesh/internal/ident"
+	"tmesh/internal/keytree"
+	"tmesh/internal/overlay"
+)
+
+// clusterMirror runs a cluster.Manager alongside the soak's real key
+// tree, fed the same membership stream, so the Appendix B invariants
+// (leader uniqueness, earliest-joined leadership, epoch monotonicity)
+// can be audited each interval without routing the actual rekey traffic
+// through the cluster heuristic. The membership set is tracked here
+// because the Manager has no O(1) membership probe.
+type clusterMirror struct {
+	m       *cluster.Manager
+	members map[string]overlay.Record
+}
+
+func newClusterMirror(params ident.Params, seed []byte) (*clusterMirror, error) {
+	m, err := cluster.New(params, seed, keytree.Opts{})
+	if err != nil {
+		return nil, err
+	}
+	return &clusterMirror{m: m, members: make(map[string]overlay.Record)}, nil
+}
+
+func (c *clusterMirror) join(rec overlay.Record) error {
+	if err := c.m.Join(rec); err != nil {
+		return err
+	}
+	c.members[rec.ID.Key()] = rec
+	return nil
+}
+
+func (c *clusterMirror) leave(id ident.ID) error {
+	if err := c.m.Leave(id); err != nil {
+		return err
+	}
+	delete(c.members, id.Key())
+	return nil
+}
+
+func (c *clusterMirror) process() (*cluster.Result, error) { return c.m.Process() }
+
+func (c *clusterMirror) has(key string) bool {
+	_, ok := c.members[key]
+	return ok
+}
+
+func (c *clusterMirror) prefixes() []ident.Prefix { return c.m.Prefixes() }
+
+func (c *clusterMirror) leader(p ident.Prefix) (overlay.Record, bool) { return c.m.Leader(p) }
+
+func (c *clusterMirror) membersOf(p ident.Prefix) []overlay.Record { return c.m.Members(p) }
+
+func (c *clusterMirror) epoch(p ident.Prefix) (uint64, bool) { return c.m.Epoch(p) }

@@ -1,0 +1,108 @@
+package chaos
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// IntervalStats is the audited record of one rekey interval.
+type IntervalStats struct {
+	Index   int
+	Members int // group size at audit time
+
+	Joins, Leaves, Crashes int
+	LeaderKills            int
+	Burst                  bool
+	PartitionDomain        int // isolated transit domain, -1 when none
+	Spike                  bool
+
+	RekeyCost int // encryptions in the interval's rekey message
+
+	// Data multicast (Theorem 1 probe).
+	DataDelivered, DataLost int
+
+	// Key distribution rungs (degradation ladder).
+	KeyByMulticast, KeyByUnicast, KeyByResync int
+	UnicastAttempts, Retries                  int
+	MaxBackoff                                time.Duration
+
+	// Violations lists invariant failures caught by the audit, in
+	// registry order. Empty means the interval is green.
+	Violations []string
+}
+
+func (s *IntervalStats) line() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "interval %02d: members=%d join=%d leave=%d crash=%d leaderkill=%d",
+		s.Index, s.Members, s.Joins, s.Leaves, s.Crashes, s.LeaderKills)
+	if s.Burst {
+		b.WriteString(" burst")
+	}
+	if s.PartitionDomain >= 0 {
+		fmt.Fprintf(&b, " partition=%d", s.PartitionDomain)
+	}
+	if s.Spike {
+		b.WriteString(" spike")
+	}
+	fmt.Fprintf(&b, " | rekey=%d data=%d/%d key=%d/%d/%d attempts=%d retries=%d backoff=%v",
+		s.RekeyCost, s.DataDelivered, s.DataDelivered+s.DataLost,
+		s.KeyByMulticast, s.KeyByUnicast, s.KeyByResync,
+		s.UnicastAttempts, s.Retries, s.MaxBackoff)
+	if len(s.Violations) == 0 {
+		b.WriteString(" | OK")
+	} else {
+		fmt.Fprintf(&b, " | VIOLATIONS=%d", len(s.Violations))
+	}
+	return b.String()
+}
+
+// Report is the outcome of one soak session. Two runs with the same
+// configuration produce byte-identical String() output; tests assert
+// this, so nothing time-of-day- or map-order-dependent may leak in.
+type Report struct {
+	Seed      int64
+	Intervals []IntervalStats
+
+	// Auditors maps registry order to auditor names (not a map, to keep
+	// output canonical).
+	Auditors []string
+
+	TotalEvents   uint64
+	PastClamps    uint64
+	FinalMembers  int
+	OrphanEvicted int // dead users reaped by the interval-boundary backstop
+
+	// FinalViolations holds failures of the end-of-run full sweep.
+	FinalViolations []string
+}
+
+// TotalViolations counts invariant failures across all intervals plus
+// the final sweep.
+func (r *Report) TotalViolations() int {
+	n := len(r.FinalViolations)
+	for i := range r.Intervals {
+		n += len(r.Intervals[i].Violations)
+	}
+	return n
+}
+
+// String renders the canonical soak report.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "chaos soak seed=%d intervals=%d auditors=%s\n",
+		r.Seed, len(r.Intervals), strings.Join(r.Auditors, ","))
+	for i := range r.Intervals {
+		b.WriteString(r.Intervals[i].line())
+		b.WriteByte('\n')
+		for _, v := range r.Intervals[i].Violations {
+			fmt.Fprintf(&b, "  violation: %s\n", v)
+		}
+	}
+	fmt.Fprintf(&b, "final: members=%d events=%d past_clamps=%d orphans=%d violations=%d\n",
+		r.FinalMembers, r.TotalEvents, r.PastClamps, r.OrphanEvicted, r.TotalViolations())
+	for _, v := range r.FinalViolations {
+		fmt.Fprintf(&b, "  final violation: %s\n", v)
+	}
+	return b.String()
+}

@@ -122,6 +122,29 @@ func (m *Manager) Members(p ident.Prefix) []overlay.Record {
 	return out
 }
 
+// Epoch returns the cluster's leadership epoch: 0 for a cluster still
+// on its founding leader, bumped by one on every leadership transfer.
+// Auditors use it to assert leadership changes are monotone and occur
+// only when the previous leader departed.
+func (m *Manager) Epoch(p ident.Prefix) (uint64, bool) {
+	s, ok := m.clusters[p.Key()]
+	if !ok {
+		return 0, false
+	}
+	return s.epoch, true
+}
+
+// Prefixes returns the prefixes of all non-empty bottom clusters in
+// prefix order.
+func (m *Manager) Prefixes() []ident.Prefix {
+	out := make([]ident.Prefix, 0, len(m.clusters))
+	for _, s := range m.clusters {
+		out = append(out, s.prefix)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key() < out[j].Key() })
+	return out
+}
+
 // PairwiseKey returns the leader-member pairwise key for a non-leader
 // member (leaders have no pairwise key with themselves).
 func (m *Manager) PairwiseKey(member ident.ID) (keycrypt.Key, bool) {

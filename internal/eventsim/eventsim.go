@@ -11,7 +11,6 @@ package eventsim
 
 import (
 	"container/heap"
-	"fmt"
 	"time"
 )
 
@@ -65,12 +64,13 @@ func (t Timer) Cancel() {
 // Simulator is a single-threaded discrete event engine. The zero value is
 // not usable; construct with New.
 type Simulator struct {
-	queue     eventQueue
-	now       time.Duration
-	seq       uint64
-	processed uint64
-	running   bool
-	stopped   bool
+	queue       eventQueue
+	now         time.Duration
+	seq         uint64
+	processed   uint64
+	pastClamped uint64
+	running     bool
+	stopped     bool
 }
 
 // New returns an empty simulator with the clock at zero.
@@ -88,11 +88,20 @@ func (s *Simulator) Pending() int { return len(s.queue) }
 // Processed returns the number of events executed so far.
 func (s *Simulator) Processed() uint64 { return s.processed }
 
-// At schedules fn to run at the given absolute virtual time, which must
-// not precede the current time.
+// PastClamps returns the number of events whose requested time preceded
+// the clock and were clamped to now by At.
+func (s *Simulator) PastClamps() uint64 { return s.pastClamped }
+
+// At schedules fn to run at the given absolute virtual time. A time
+// that precedes the current clock is clamped to now — fault injectors
+// routinely schedule relative to stale timestamps (e.g. a crash time
+// observed before a detection advanced the clock), and a hard panic
+// would make every injector defend itself; the clamp keeps the queue
+// ordered and PastClamps exposes how often it happened.
 func (s *Simulator) At(at time.Duration, fn Handler) Timer {
 	if at < s.now {
-		panic(fmt.Sprintf("eventsim: scheduling event at %v before now %v", at, s.now))
+		at = s.now
+		s.pastClamped++
 	}
 	ev := &event{at: at, seq: s.seq, fn: fn}
 	s.seq++

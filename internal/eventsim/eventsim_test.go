@@ -80,17 +80,37 @@ func TestNegativeDelayClampsToNow(t *testing.T) {
 	}
 }
 
-func TestSchedulingInPastPanics(t *testing.T) {
+func TestSchedulingInPastClampsToNow(t *testing.T) {
 	s := New()
-	s.At(time.Second, func(time.Duration) {
-		defer func() {
-			if recover() == nil {
-				t.Error("At in the past should panic")
-			}
-		}()
-		s.At(500*time.Millisecond, func(time.Duration) {})
+	var firedAt []time.Duration
+	s.At(time.Second, func(now time.Duration) {
+		// A fault injector working from a stale timestamp: the request
+		// is in the past, so it must run at the current clock instead.
+		s.At(500*time.Millisecond, func(at time.Duration) {
+			firedAt = append(firedAt, at)
+		})
 	})
 	s.Run()
+	if len(firedAt) != 1 || firedAt[0] != time.Second {
+		t.Fatalf("past-time event fired at %v, want [1s]", firedAt)
+	}
+	if s.PastClamps() != 1 {
+		t.Errorf("PastClamps = %d, want 1", s.PastClamps())
+	}
+	if s.Now() != time.Second {
+		t.Errorf("clamped event moved the clock to %v", s.Now())
+	}
+}
+
+func TestPastClampsCounterStaysZeroForFutureEvents(t *testing.T) {
+	s := New()
+	for i := 0; i < 10; i++ {
+		s.After(time.Duration(i)*time.Millisecond, func(time.Duration) {})
+	}
+	s.Run()
+	if s.PastClamps() != 0 {
+		t.Errorf("PastClamps = %d, want 0", s.PastClamps())
+	}
 }
 
 func TestRunUntilDeadline(t *testing.T) {

@@ -111,7 +111,24 @@ func New(cfg Config) (*Monitor, error) {
 	for _, id := range cfg.Dir.IDs() {
 		m.phase[id.Key()] = time.Duration(cfg.Rand.Int63n(int64(cfg.PingInterval)))
 	}
+	// Repairs, leave-refills, and joiners' table builds must not adopt a
+	// crashed-but-unevicted user into an entry whose owner will never
+	// monitor it; route every candidate selection through this monitor's
+	// liveness view.
+	cfg.Dir.SetLivenessOracle(m.Alive)
 	return m, nil
+}
+
+// Observe registers a user that joined after the monitor was built: it
+// draws the user's ping phase and clears any stale liveness state left
+// behind by a previous holder of the same ID. Callers that grow the
+// group mid-session must Observe each joiner.
+func (m *Monitor) Observe(id ident.ID) {
+	if _, ok := m.phase[id.Key()]; !ok {
+		m.phase[id.Key()] = time.Duration(m.cfg.Rand.Int63n(int64(m.cfg.PingInterval)))
+	}
+	delete(m.dead, id.Key())
+	delete(m.killed, id.Key())
 }
 
 // Alive reports whether a user is currently responsive; pass it to
@@ -135,59 +152,84 @@ func (m *Monitor) Kill(failed ident.ID, at time.Duration) error {
 		return fmt.Errorf("failover: user %v is already scheduled to fail", failed)
 	}
 	m.killed[failed.Key()] = true
-	// Owners that currently hold the failed user. Computed at kill
-	// time: tables may change before detection, but a repair that
-	// already removed the record is a no-op.
-	var owners []ident.ID
-	for _, id := range m.cfg.Dir.IDs() {
-		if id.Equal(failed) {
-			continue
-		}
-		if t, ok := m.cfg.Dir.TableOf(id); ok && t.Contains(failed) {
-			owners = append(owners, id)
-		}
-	}
-	sort.Slice(owners, func(i, j int) bool { return owners[i].Compare(owners[j]) < 0 })
-
-	m.cfg.Sim.At(at, func(now time.Duration) {
-		m.dead[failed.Key()] = true
-	})
 	net := m.cfg.Dir.Network()
-	serverEvicted := false
-	for _, owner := range owners {
-		owner := owner
-		rec, _ := m.cfg.Dir.Record(owner)
-		// The owner's first ping after the crash happens at the next
-		// phase-aligned tick; detection takes Misses such ticks, plus
-		// one RTT worth of timeout slack.
-		firstPing := nextTick(at, m.phase[owner.Key()], m.cfg.PingInterval)
-		detectAt := firstPing + time.Duration(m.cfg.Misses-1)*m.cfg.PingInterval +
-			2*net.AccessRTT(rec.Host) // timeout slack
-		m.cfg.Sim.At(detectAt, func(now time.Duration) {
-			m.report.PingsLost += m.cfg.Misses
-			// First detector's notification evicts the user from the
-			// key server's membership view.
-			m.report.Notifications++
-			if !serverEvicted {
-				serverEvicted = true
-				if err := m.cfg.Dir.Evict(failed); err != nil {
-					// Already evicted via another failure path; the
-					// notification is simply redundant.
-					_ = err
+	m.cfg.Sim.At(at, func(crashAt time.Duration) {
+		m.dead[failed.Key()] = true
+		// Owners that hold the failed user at the moment of the crash.
+		// Computing them here (not at Kill-call time) matters under
+		// overlapping failures: a repair running between the Kill call
+		// and the crash can move the record into tables the original
+		// scan never saw. Owners that are themselves already dead
+		// cannot ping and are skipped.
+		var owners []ident.ID
+		for _, id := range m.cfg.Dir.IDs() {
+			if id.Equal(failed) || m.dead[id.Key()] {
+				continue
+			}
+			if t, ok := m.cfg.Dir.TableOf(id); ok && t.Contains(failed) {
+				owners = append(owners, id)
+			}
+		}
+		sort.Slice(owners, func(i, j int) bool { return owners[i].Compare(owners[j]) < 0 })
+
+		serverEvicted := false
+		for _, owner := range owners {
+			owner := owner
+			rec, _ := m.cfg.Dir.Record(owner)
+			// The owner's first ping after the crash happens at the next
+			// phase-aligned tick; detection takes Misses such ticks, plus
+			// one RTT worth of timeout slack.
+			firstPing := nextTick(crashAt, m.phase[owner.Key()], m.cfg.PingInterval)
+			detectAt := firstPing + time.Duration(m.cfg.Misses-1)*m.cfg.PingInterval +
+				2*net.AccessRTT(rec.Host) // timeout slack
+			m.cfg.Sim.At(detectAt, func(now time.Duration) {
+				if m.dead[owner.Key()] {
+					return // the detector itself crashed in the window
 				}
-			}
-			if row, col, ok := m.cfg.Dir.RemoveNeighbor(owner, failed); ok {
-				m.report.RepairMessages += m.cfg.Dir.RepairEntry(owner, row, col)
-			}
-			m.report.Detections = append(m.report.Detections, Detection{
-				Owner:      owner,
-				Failed:     failed,
-				FailedAt:   at,
-				DetectedAt: now,
+				m.report.PingsLost += m.cfg.Misses
+				// First detector's notification evicts the user from the
+				// key server's membership view.
+				m.report.Notifications++
+				if !serverEvicted {
+					serverEvicted = true
+					if err := m.cfg.Dir.Evict(failed); err != nil {
+						// Already evicted via another failure path; the
+						// notification is simply redundant.
+						_ = err
+					}
+				}
+				if row, col, ok := m.cfg.Dir.RemoveNeighbor(owner, failed); ok {
+					m.report.RepairMessages += m.cfg.Dir.RepairEntryLive(owner, row, col, m.Alive)
+				}
+				m.report.Detections = append(m.report.Detections, Detection{
+					Owner:      owner,
+					Failed:     failed,
+					FailedAt:   crashAt,
+					DetectedAt: now,
+				})
 			})
-		})
-	}
+		}
+	})
 	return nil
+}
+
+// EvictIfDead force-evicts a user that crashed but was never evicted
+// because every owner that could have detected it died first (or it had
+// no owners at crash time). The key server notices such users itself
+// when they stop acknowledging rekey messages; soak harnesses call this
+// at interval boundaries as that backstop. It reports whether an
+// eviction happened.
+func (m *Monitor) EvictIfDead(id ident.ID) bool {
+	if !m.dead[id.Key()] {
+		return false
+	}
+	if _, ok := m.cfg.Dir.Record(id); !ok {
+		return false
+	}
+	if err := m.cfg.Dir.Evict(id); err != nil {
+		return false
+	}
+	return true
 }
 
 // nextTick returns the first phase-aligned ping time at or after t.

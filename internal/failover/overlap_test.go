@@ -1,0 +1,190 @@
+package failover
+
+import (
+	"testing"
+	"time"
+
+	"tmesh/internal/eventsim"
+	"tmesh/internal/ident"
+	"tmesh/internal/overlay"
+)
+
+// sharedEntryVictims finds an owner whose table has an entry holding at
+// least two neighbors, and returns the owner plus those two neighbors.
+// Killing both puts two members of the same ID subtree into one
+// detection window.
+func sharedEntryVictims(t *testing.T, dir *overlay.Directory, recs []overlay.Record) (owner, v1, v2 ident.ID) {
+	t.Helper()
+	for _, r := range recs {
+		tab, ok := dir.TableOf(r.ID)
+		if !ok {
+			continue
+		}
+		for i := 0; i < tp.Digits; i++ {
+			for j := 0; j < tp.Base; j++ {
+				entry := tab.Entry(i, ident.Digit(j))
+				if entry.Len() >= 2 {
+					ns := entry.Neighbors()
+					return r.ID, ns[0].ID, ns[1].ID
+				}
+			}
+		}
+	}
+	t.Fatal("no entry with two neighbors found")
+	return
+}
+
+// spareVictims finds an owner with a full entry whose ID subtree holds
+// more members than the entry (m > K), and returns a neighbor in the
+// entry (v1) plus the spare subtree member the refill would pick first —
+// the nearest candidate not already in the entry (v2). Killing v1 makes
+// the owner repair that entry; killing v2 just before the repair runs
+// makes the dead, not-yet-evicted v2 the top refill candidate.
+func spareVictims(t *testing.T, dir *overlay.Directory, recs []overlay.Record) (owner, v1, v2 ident.ID) {
+	t.Helper()
+	net := dir.Network()
+	for _, r := range recs {
+		tab, ok := dir.TableOf(r.ID)
+		if !ok {
+			continue
+		}
+		for i := 0; i < tp.Digits; i++ {
+			for j := 0; j < tp.Base; j++ {
+				entry := tab.Entry(i, ident.Digit(j))
+				if entry.Len() < dir.K() {
+					continue
+				}
+				subtree := r.ID.Prefix(i).Child(ident.Digit(j))
+				members := dir.Members(subtree)
+				if len(members) <= entry.Len() {
+					continue
+				}
+				var spare *overlay.Record
+				for k := range members {
+					c := members[k]
+					if tab.Contains(c.ID) {
+						continue
+					}
+					if spare == nil || net.RTT(r.Host, c.Host) < net.RTT(r.Host, spare.Host) {
+						spare = &members[k]
+					}
+				}
+				if spare == nil {
+					continue
+				}
+				return r.ID, entry.Neighbors()[0].ID, spare.ID
+			}
+		}
+	}
+	t.Fatal("no entry with a spare subtree member found")
+	return
+}
+
+// holdersOf lists the IDs of live tables currently containing the user.
+func holdersOf(dir *overlay.Directory, id ident.ID) map[string]bool {
+	holders := make(map[string]bool)
+	for _, owner := range dir.IDs() {
+		if tab, ok := dir.TableOf(owner); ok && tab.Contains(id) {
+			holders[owner.Key()] = true
+		}
+	}
+	return holders
+}
+
+// TestOverlappingFailures crashes two neighbors of the same owner within
+// one detection window AND crashes the owner itself while its repairs
+// are in flight. The directory must converge back to K-consistency with
+// all three victims fully purged, and the dead owner must not produce
+// ghost detections.
+func TestOverlappingFailures(t *testing.T) {
+	dir, recs := buildWorld(t, 50, 3, 21)
+	sim := eventsim.New()
+	m := newMonitor(t, dir, sim)
+
+	owner, v1, v2 := sharedEntryVictims(t, dir, recs)
+	if err := m.Kill(v1, 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Kill(v2, 10*time.Second+800*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	// The owner dies while detections of v1 and v2 are pending: its own
+	// detections must be suppressed, and other owners must still clean
+	// up all three.
+	if err := m.Kill(owner, 11*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	sim.Run()
+
+	for _, v := range []ident.ID{owner, v1, v2} {
+		if _, ok := dir.Record(v); ok {
+			t.Errorf("victim %v still in the membership view", v)
+		}
+		if h := holdersOf(dir, v); len(h) != 0 {
+			t.Errorf("victim %v still held by %d tables", v, len(h))
+		}
+	}
+	// Detection latency is at least Misses-1 ping intervals (4s), so the
+	// owner (dead 1s after the first crash) cannot have detected either
+	// victim; a detection attributed to it would be a ghost from a dead
+	// process.
+	for _, d := range m.Report().Detections {
+		if d.Owner.Equal(owner) {
+			t.Errorf("dead owner %v produced a detection of %v at %v", owner, d.Failed, d.DetectedAt)
+		}
+	}
+	if len(m.Report().Detections) == 0 {
+		t.Fatal("no failures were detected at all")
+	}
+	if err := dir.CheckConsistency(); err != nil {
+		t.Fatalf("after overlapping failures: %v", err)
+	}
+}
+
+// TestCrashDuringInFlightRepair stages the exact race the liveness
+// oracle exists for: v2 crashes just before the repairs triggered by
+// v1's detections run, so those repairs see v2 as a dead-but-unevicted
+// refill candidate. No table may adopt v2 during that window, and the
+// directory must end K-consistent.
+func TestCrashDuringInFlightRepair(t *testing.T) {
+	dir, recs := buildWorld(t, 50, 3, 23)
+	sim := eventsim.New()
+	m := newMonitor(t, dir, sim)
+
+	_, v1, v2 := spareVictims(t, dir, recs)
+	if err := m.Kill(v1, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// v1's detections land in roughly [5s, 7.2s] (3 misses on a 2s ping
+	// interval). v2 dies just before they start firing and is not
+	// evicted until its own detections around [8.9s, 11.2s].
+	if err := m.Kill(v2, 4900*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+
+	sim.RunUntil(4800 * time.Millisecond)
+	before := holdersOf(dir, v2)
+	// Run through v1's repair window, before v2's eviction.
+	sim.RunUntil(8 * time.Second)
+	if _, ok := dir.Record(v2); !ok {
+		t.Fatal("test staging broken: v2 already evicted at 8s")
+	}
+	for key := range holdersOf(dir, v2) {
+		if !before[key] {
+			t.Errorf("repair adopted dead user %v into %v's table", v2, ident.IDFromKey(key))
+		}
+	}
+
+	sim.Run()
+	for _, v := range []ident.ID{v1, v2} {
+		if _, ok := dir.Record(v); ok {
+			t.Errorf("victim %v still in the membership view", v)
+		}
+		if h := holdersOf(dir, v); len(h) != 0 {
+			t.Errorf("victim %v still held by %d tables", v, len(h))
+		}
+	}
+	if err := dir.CheckConsistency(); err != nil {
+		t.Fatalf("after crash-during-repair: %v", err)
+	}
+}

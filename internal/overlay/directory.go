@@ -28,6 +28,10 @@ type Directory struct {
 	records map[string]Record // by ID key
 	tables  map[string]*Table // by ID key
 
+	// alive, when set, is consulted wherever an entry is (re)filled from
+	// the membership; see SetLivenessOracle.
+	alive func(ident.ID) bool
+
 	maintenanceMessages int
 }
 
@@ -70,6 +74,20 @@ func (d *Directory) Size() int { return len(d.records) }
 // MaintenanceMessages returns the estimated number of table-maintenance
 // protocol messages exchanged so far.
 func (d *Directory) MaintenanceMessages() int { return d.maintenanceMessages }
+
+// SetLivenessOracle installs a predicate consulted whenever a table
+// entry is built or refilled from the membership: candidates for which
+// it returns false are skipped. Between a crash and the corresponding
+// eviction the dead user is still in the membership view, so without
+// the oracle a concurrent repair, leave-refill, or new joiner's table
+// build can adopt the dead user into an entry whose owner will never
+// monitor it — the record then survives eviction and breaks
+// K-consistency. A nil oracle (the default) treats everyone as alive.
+func (d *Directory) SetLivenessOracle(alive func(ident.ID) bool) { d.alive = alive }
+
+func (d *Directory) isAlive(id ident.ID) bool {
+	return d.alive == nil || d.alive(id)
+}
 
 // Record returns the record of the user with the given ID.
 func (d *Directory) Record(id ident.ID) (Record, bool) {
@@ -146,7 +164,7 @@ func (d *Directory) buildTable(rec Record) (*Table, error) {
 		return nil, err
 	}
 	for key, other := range d.records {
-		if key == rec.ID.Key() {
+		if key == rec.ID.Key() || !d.isAlive(other.ID) {
 			continue
 		}
 		if table.Insert(Neighbor{Record: other, RTT: d.net.RTT(rec.Host, other.Host)}) {
@@ -182,7 +200,7 @@ func (d *Directory) remove(id ident.ID, graceful bool) error {
 	for _, t := range d.tables {
 		if row, col, ok := t.Remove(id); ok {
 			d.maintenanceMessages++
-			d.refill(t, row, col)
+			d.refill(t, row, col, nil)
 		}
 	}
 	if d.server.Remove(id) {
@@ -194,8 +212,12 @@ func (d *Directory) remove(id ident.ID, graceful bool) error {
 }
 
 // refill tops up a user's (row, col)-entry with the nearest remaining
-// members of the corresponding ID subtree.
-func (d *Directory) refill(t *Table, row int, col ident.Digit) {
+// members of the corresponding ID subtree. A non-nil alive predicate
+// excludes candidates that are crashed but not yet evicted: repairing
+// an entry with a dead user the owner will never ping (its failure
+// detectors were enrolled at crash time) would leave the dead record in
+// the table forever.
+func (d *Directory) refill(t *Table, row int, col ident.Digit, alive func(ident.ID) bool) {
 	entry := t.Entry(row, col)
 	if entry.Len() >= d.k {
 		return
@@ -209,6 +231,9 @@ func (d *Directory) refill(t *Table, row int, col ident.Digit) {
 	for _, c := range candidates {
 		if entry.Len() >= d.k {
 			break
+		}
+		if (alive != nil && !alive(c.ID)) || !d.isAlive(c.ID) {
+			continue
 		}
 		if t.Insert(Neighbor{Record: c, RTT: d.net.RTT(owner.Host, c.Host)}) {
 			d.maintenanceMessages++
@@ -225,6 +250,9 @@ func (d *Directory) refillServer(j ident.Digit) {
 	for _, c := range d.Members(pfx) {
 		if entry.Len() >= d.k {
 			break
+		}
+		if !d.isAlive(c.ID) {
+			continue
 		}
 		if d.server.Insert(Neighbor{Record: c, RTT: d.net.RTT(d.server.Host(), c.Host)}) {
 			d.maintenanceMessages++
@@ -251,7 +279,30 @@ func (d *Directory) Evict(id ident.ID) error {
 		d.maintenanceMessages++
 		d.refillServer(id.Digit(0))
 	}
+	d.topUpAfterEviction(id)
 	return nil
+}
+
+// topUpAfterEviction refills, for every owner, the single entry whose ID
+// subtree contains the evicted user. While the user was crashed but not
+// yet evicted, the liveness oracle made refills skip it, which can leave
+// such entries below min{K, m}; once the eviction shrinks the membership
+// (the server's failure notification, Section 3.2) those entries must be
+// topped up or no later event ever repairs them. Entries already at K
+// are no-ops, so the sweep costs O(N) table lookups.
+func (d *Directory) topUpAfterEviction(id ident.ID) {
+	for _, t := range d.tables {
+		owner := t.Owner()
+		l := 0
+		for l < d.params.Digits && owner.ID.Digit(l) == id.Digit(l) {
+			l++
+		}
+		if l == d.params.Digits {
+			continue // the evicted user's own table (already deleted)
+		}
+		d.refill(t, l, id.Digit(l), nil)
+	}
+	d.refillServer(id.Digit(0))
 }
 
 // RemoveNeighbor deletes a (possibly dead) neighbor from one owner's
@@ -269,62 +320,21 @@ func (d *Directory) RemoveNeighbor(owner, neighbor ident.ID) (row int, col ident
 // one" step of Section 3.2). It returns the number of protocol messages
 // charged.
 func (d *Directory) RepairEntry(owner ident.ID, row int, col ident.Digit) int {
+	return d.RepairEntryLive(owner, row, col, nil)
+}
+
+// RepairEntryLive is RepairEntry with a liveness oracle: candidates for
+// which alive returns false are skipped. Failure recovery must use this
+// form — under overlapping failures, a repair running between a second
+// crash and its eviction would otherwise re-learn the dead user into an
+// entry whose owner never monitors it.
+func (d *Directory) RepairEntryLive(owner ident.ID, row int, col ident.Digit, alive func(ident.ID) bool) int {
 	t, ok := d.tables[owner.Key()]
 	if !ok {
 		return 0
 	}
 	before := d.maintenanceMessages
-	d.refill(t, row, col)
+	d.refill(t, row, col, alive)
 	return d.maintenanceMessages - before
 }
 
-// CheckConsistency verifies Definition 3 (K-consistency) for every user
-// table and the key server's table against the current membership. It
-// returns the first violation found, or nil.
-func (d *Directory) CheckConsistency() error {
-	for _, t := range d.tables {
-		owner := t.Owner()
-		for i := 0; i < d.params.Digits; i++ {
-			for j := 0; j < d.params.Base; j++ {
-				entry := t.Entry(i, ident.Digit(j))
-				if ident.Digit(j) == owner.ID.Digit(i) {
-					if entry.Len() != 0 {
-						return fmt.Errorf("overlay: %v's (%d,%d)-entry must be empty, has %d", owner.ID, i, j, entry.Len())
-					}
-					continue
-				}
-				subtree := owner.ID.Prefix(i).Child(ident.Digit(j))
-				m := d.tree.SubtreeSize(subtree)
-				want := min(d.k, m)
-				if entry.Len() != want {
-					return fmt.Errorf("overlay: %v's (%d,%d)-entry has %d neighbors, want min{K=%d, m=%d}",
-						owner.ID, i, j, entry.Len(), d.k, m)
-				}
-				for _, n := range entry.Neighbors() {
-					if !n.ID.HasPrefix(subtree) {
-						return fmt.Errorf("overlay: %v's (%d,%d)-entry holds %v outside subtree %v",
-							owner.ID, i, j, n.ID, subtree)
-					}
-					if _, ok := d.records[n.ID.Key()]; !ok {
-						return fmt.Errorf("overlay: %v's (%d,%d)-entry holds departed user %v", owner.ID, i, j, n.ID)
-					}
-				}
-			}
-		}
-	}
-	for j := 0; j < d.params.Base; j++ {
-		entry := d.server.Entry(ident.Digit(j))
-		m := d.tree.SubtreeSize(ident.EmptyPrefix.Child(ident.Digit(j)))
-		want := min(d.k, m)
-		if entry.Len() != want {
-			return fmt.Errorf("overlay: server (0,%d)-entry has %d neighbors, want min{K=%d, m=%d}",
-				j, entry.Len(), d.k, m)
-		}
-		for _, n := range entry.Neighbors() {
-			if n.ID.Digit(0) != ident.Digit(j) {
-				return fmt.Errorf("overlay: server (0,%d)-entry holds %v with wrong digit", j, n.ID)
-			}
-		}
-	}
-	return nil
-}

@@ -1,0 +1,260 @@
+// The degradation ladder extends limited unicast recovery into a
+// three-rung delivery strategy for hostile networks:
+//
+//  1. multicast — the normal T-mesh distribution, possibly lossy;
+//  2. unicast recovery — a user whose copy never arrived by the timeout
+//     requests its Lemma 3 slice from the key server, retrying with
+//     capped exponential backoff while those unicasts are lost too;
+//  3. full resync — a user that exhausts its retry budget falls back to
+//     a reliable (TCP-like) session in which the server reissues the
+//     Lemma 3 encryption set, so delivery always terminates.
+//
+// Rungs 1-2 are the paper's design ([31], footnote 1); rung 3 is the
+// bounded-time backstop that makes "every surviving member ends the
+// interval holding the group key" an invariant rather than a likelihood.
+package recovery
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"tmesh/internal/eventsim"
+	"tmesh/internal/ident"
+	"tmesh/internal/keycrypt"
+	"tmesh/internal/keytree"
+	"tmesh/internal/overlay"
+	"tmesh/internal/split"
+	"tmesh/internal/tmesh"
+	"tmesh/internal/vnet"
+)
+
+// LadderConfig parameterises one rekey distribution over the ladder.
+type LadderConfig struct {
+	Dir *overlay.Directory
+	// Sim is the shared event engine; the ladder schedules everything on
+	// it and DistributeLadder returns before the events run.
+	Sim *eventsim.Simulator
+	// StartAt is the virtual time of the multicast send.
+	StartAt time.Duration
+	// Mode is the splitting mode of the multicast attempt.
+	Mode split.Mode
+	// DropHop simulates per-hop loss on the multicast.
+	DropHop func(from, to vnet.HostID) bool
+	// Alive routes the multicast around crashed users and exempts users
+	// that crash mid-interval from recovery (nil means everyone).
+	Alive func(ident.ID) bool
+	// Timeout is how long a user waits for the multicast copy before
+	// starting unicast recovery.
+	Timeout time.Duration
+	// RetryBase and RetryMax shape the backoff between unicast attempts:
+	// attempt n+1 follows a failed attempt n by
+	// min(RetryBase << (n-1), RetryMax).
+	RetryBase, RetryMax time.Duration
+	// RetryBudget is the number of unicast attempts a user may spend
+	// before falling back to a full resync (>= 1).
+	RetryBudget int
+	// DropUnicast simulates loss of one recovery unicast exchange
+	// (attempt is 1-based). The resync rung is reliable and has no drop
+	// hook by construction.
+	DropUnicast func(user ident.ID, attempt int) bool
+	// OnKey observes every successful key delivery with the rung that
+	// achieved it and the virtual completion time.
+	OnKey func(user ident.ID, rung Rung, at time.Duration)
+}
+
+// Rung identifies which step of the ladder delivered the key.
+type Rung int
+
+const (
+	ByMulticast Rung = iota
+	ByUnicast
+	ByResync
+)
+
+func (r Rung) String() string {
+	switch r {
+	case ByMulticast:
+		return "multicast"
+	case ByUnicast:
+		return "unicast"
+	case ByResync:
+		return "resync"
+	default:
+		return fmt.Sprintf("rung(%d)", int(r))
+	}
+}
+
+// LadderResult accounts one distribution. It is fully populated only
+// after the shared simulator has drained past the last scheduled event.
+type LadderResult struct {
+	// Message is the rekey message the ladder distributed.
+	Message *keytree.Message
+	// Multicast is the rung-1 transport result.
+	Multicast *tmesh.Result
+	// RungOf records, per user key, the rung that delivered the key.
+	// Users that needed nothing this interval are absent.
+	RungOf map[string]Rung
+	// DeliveredAt records the virtual completion time per user key.
+	DeliveredAt map[string]time.Duration
+	// Recovered lists users that needed rung >= 2, in ID order (valid
+	// after Finish).
+	Recovered []ident.ID
+	// Resynced lists users that fell through to rung 3, in ID order.
+	Resynced []ident.ID
+	// UnicastAttempts counts recovery unicast exchanges, lost or not.
+	UnicastAttempts int
+	// Retries counts attempts beyond each user's first (each one was
+	// preceded by a backoff wait).
+	Retries int
+	// MaxBackoff is the longest single backoff actually waited.
+	MaxBackoff time.Duration
+	// ServerUnits counts encryptions the server sent on rungs 2-3.
+	ServerUnits int
+}
+
+// Finish sorts the order-dependent slices; call it after the simulator
+// has drained.
+func (r *LadderResult) Finish() {
+	sort.Slice(r.Recovered, func(i, j int) bool { return r.Recovered[i].Compare(r.Recovered[j]) < 0 })
+	sort.Slice(r.Resynced, func(i, j int) bool { return r.Resynced[i].Compare(r.Resynced[j]) < 0 })
+}
+
+// DistributeLadder schedules one rekey distribution over the ladder on
+// the shared simulator and returns immediately; drive the simulator to
+// populate the result, then call Finish on it.
+func DistributeLadder(cfg LadderConfig, msg *keytree.Message) (*LadderResult, error) {
+	switch {
+	case cfg.Dir == nil || cfg.Sim == nil:
+		return nil, fmt.Errorf("recovery: Dir and Sim are required")
+	case msg == nil:
+		return nil, fmt.Errorf("recovery: nil rekey message")
+	case cfg.Timeout <= 0:
+		return nil, fmt.Errorf("recovery: Timeout must be positive, got %v", cfg.Timeout)
+	case cfg.RetryBudget < 1:
+		return nil, fmt.Errorf("recovery: RetryBudget must be >= 1, got %d", cfg.RetryBudget)
+	case cfg.RetryBase <= 0 || cfg.RetryMax < cfg.RetryBase:
+		return nil, fmt.Errorf("recovery: bad backoff range [%v, %v]", cfg.RetryBase, cfg.RetryMax)
+	}
+
+	out := &LadderResult{
+		Message:     msg,
+		RungOf:      make(map[string]Rung),
+		DeliveredAt: make(map[string]time.Duration),
+	}
+	deliver := func(id ident.ID, rung Rung, at time.Duration) {
+		out.RungOf[id.Key()] = rung
+		out.DeliveredAt[id.Key()] = at
+		if cfg.OnKey != nil {
+			cfg.OnKey(id, rung, at)
+		}
+	}
+
+	// Rung 1: the lossy multicast on the shared simulator.
+	tcfg := tmesh.Config[[]keycrypt.Encryption]{
+		Dir:            cfg.Dir,
+		SenderIsServer: true,
+		DropHop:        cfg.DropHop,
+		Alive:          cfg.Alive,
+		Sim:            cfg.Sim,
+		StartAt:        cfg.StartAt,
+		SizeOf:         func(encs []keycrypt.Encryption) int { return len(encs) },
+	}
+	if cfg.Mode == split.PerEncryption {
+		tcfg.SplitHop = split.Filter
+	}
+	res, err := tmesh.Multicast(tcfg, msg.Encryptions)
+	if err != nil {
+		return nil, err
+	}
+	out.Multicast = res
+
+	net := cfg.Dir.Network()
+	server := cfg.Dir.Server().Host()
+	alive := func(id ident.ID) bool { return cfg.Alive == nil || cfg.Alive(id) }
+	backoff := func(attempt int) time.Duration {
+		d := cfg.RetryBase << (attempt - 1)
+		if d > cfg.RetryMax || d <= 0 { // <= 0 guards shift overflow
+			d = cfg.RetryMax
+		}
+		return d
+	}
+
+	// Per-user recovery chain, attempt numbers 1-based. Each attempt is
+	// a request/response exchange; a drop of either leg loses it whole.
+	var attempt func(id ident.ID, host vnet.HostID, needed int, n int, at time.Duration)
+	attempt = func(id ident.ID, host vnet.HostID, needed int, n int, at time.Duration) {
+		cfg.Sim.At(at, func(now time.Duration) {
+			if !alive(id) {
+				return // crashed while waiting: no longer a surviving member
+			}
+			out.UnicastAttempts++
+			if n > 1 {
+				out.Retries++
+			}
+			rtt := net.OneWay(host, server) + net.OneWay(server, host)
+			if cfg.DropUnicast != nil && cfg.DropUnicast(id, n) {
+				if n >= cfg.RetryBudget {
+					// Rung 3: budget exhausted, reliable full resync.
+					cfg.Sim.At(now+rtt, func(done time.Duration) {
+						if !alive(id) {
+							return
+						}
+						out.Resynced = append(out.Resynced, id)
+						out.ServerUnits += needed
+						deliver(id, ByResync, done)
+					})
+					return
+				}
+				wait := backoff(n)
+				if wait > out.MaxBackoff {
+					out.MaxBackoff = wait
+				}
+				attempt(id, host, needed, n+1, now+wait)
+				return
+			}
+			out.ServerUnits += needed
+			cfg.Sim.At(now+rtt, func(done time.Duration) {
+				if !alive(id) {
+					return
+				}
+				deliver(id, ByUnicast, done)
+			})
+		})
+	}
+
+	// At the timeout, sweep users in ID order and start recovery chains
+	// for everyone whose copy never arrived.
+	cfg.Sim.At(cfg.StartAt+cfg.Timeout, func(now time.Duration) {
+		for _, id := range cfg.Dir.IDs() {
+			if !alive(id) {
+				continue
+			}
+			needed := neededBy(msg, id)
+			if len(needed) == 0 {
+				continue // the interval did not touch this user's path
+			}
+			st := res.Users[id.Key()]
+			if st != nil && st.Received > 0 {
+				deliver(id, ByMulticast, st.Delay)
+				continue
+			}
+			out.Recovered = append(out.Recovered, id)
+			attempt(id, mustHost(cfg.Dir, id), len(needed), 1, now)
+		}
+	})
+	return out, nil
+}
+
+// NeededBy returns the Lemma 3 slice of a rekey message for one user —
+// the encryptions the user must decrypt to stay current. Exported for
+// auditors that have to decide whether a silent user was actually owed
+// anything this interval.
+func NeededBy(msg *keytree.Message, u ident.ID) []keycrypt.Encryption {
+	return neededBy(msg, u)
+}
+
+func mustHost(dir *overlay.Directory, id ident.ID) vnet.HostID {
+	rec, _ := dir.Record(id)
+	return rec.Host
+}

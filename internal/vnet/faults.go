@@ -1,0 +1,36 @@
+package vnet
+
+// Partition models a router-level network partition along transit-domain
+// boundaries: every inter-domain link between the isolated side and the
+// rest of the backbone is down, so any host pair whose gateway routers
+// sit on opposite sides cannot exchange messages while the partition
+// holds. Fault injectors compose Cuts into per-hop drop hooks (e.g.
+// tmesh.Config.DropHop) rather than mutating the topology, which keeps
+// the delay model and shortest-path caches untouched and makes healing a
+// partition free.
+type Partition struct {
+	top      *GTITM
+	isolated map[int]bool // transit domains on the cut-off side
+}
+
+// NewPartition isolates the given transit domains from the remainder of
+// the topology. Isolating every domain (or none) yields a partition that
+// cuts nothing.
+func NewPartition(g *GTITM, domains ...int) *Partition {
+	p := &Partition{top: g, isolated: make(map[int]bool, len(domains))}
+	for _, d := range domains {
+		if d >= 0 && d < g.NumTransitDomains() {
+			p.isolated[d] = true
+		}
+	}
+	if len(p.isolated) == g.NumTransitDomains() {
+		p.isolated = map[int]bool{} // both sides identical: cuts nothing
+	}
+	return p
+}
+
+// Cuts reports whether the partition separates the two hosts: exactly
+// one of them is inside an isolated transit domain.
+func (p *Partition) Cuts(a, b HostID) bool {
+	return p.isolated[p.top.TransitDomainOf(a)] != p.isolated[p.top.TransitDomainOf(b)]
+}

@@ -78,6 +78,7 @@ type GTITM struct {
 
 	hostRouter []int32         // gateway router per host
 	hostAccess []time.Duration // access-link RTT per host
+	stubDomain []int           // stub domain index per router, -1 for transit
 
 	// Shortest-path trees are computed lazily per source router and
 	// shared by every concurrent reader. The map is guarded by an
@@ -229,6 +230,7 @@ func (g *GTITM) build(rng *rand.Rand) {
 		}
 		g.addLink(a, b, uniformDelay(rng, 0.1, 1))
 	}
+	g.stubDomain = domainOf // kept for TransitDomainOf
 }
 
 func (g *GTITM) attach(nHosts int, rng *rand.Rand) {
@@ -258,6 +260,21 @@ func (g *GTITM) AccessRTT(h HostID) time.Duration { return g.hostAccess[h] }
 
 // GatewayRouter returns the router the host attaches to.
 func (g *GTITM) GatewayRouter(h HostID) int { return int(g.hostRouter[h]) }
+
+// NumTransitDomains returns the number of top-level transit domains.
+func (g *GTITM) NumTransitDomains() int { return g.cfg.TransitDomains }
+
+// TransitDomainOf returns the index of the transit domain the host's
+// traffic enters the backbone through: hosts attach to stub routers,
+// each stub domain hangs off one transit router, and each transit
+// router belongs to one transit domain.
+func (g *GTITM) TransitDomainOf(h HostID) int {
+	r := int(g.hostRouter[h])
+	if s := g.stubDomain[r]; s >= 0 {
+		r = s / g.cfg.StubsPerTransit // owning transit router
+	}
+	return r / g.cfg.TransitPerDomain
+}
 
 // RTT implements Network.
 func (g *GTITM) RTT(a, b HostID) time.Duration {

@@ -1,0 +1,144 @@
+// Command gencorpus regenerates the checked-in fuzz seed corpus under
+// internal/wire/testdata/fuzz. The corpus gives `go test -fuzz` valid,
+// structurally diverse starting points (plus a few corrupted variants)
+// so short CI fuzz budgets still reach deep into the decoders instead
+// of spending the whole budget rediscovering the framing.
+//
+// Run from the repository root:
+//
+//	go run ./internal/wire/gencorpus
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"tmesh/internal/ident"
+	"tmesh/internal/keycrypt"
+	"tmesh/internal/keytree"
+	"tmesh/internal/overlay"
+	"tmesh/internal/wire"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "gencorpus:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	root := filepath.Join("internal", "wire", "testdata", "fuzz")
+	if _, err := os.Stat(filepath.Join("internal", "wire")); err != nil {
+		return fmt.Errorf("run from the repository root: %w", err)
+	}
+
+	params := ident.Params{Digits: 5, Base: 256}
+	id := func(n int) ident.ID {
+		v, err := ident.FromInt(params, n)
+		if err != nil {
+			panic(err)
+		}
+		return v
+	}
+
+	var rekeys [][]byte
+	for i, msg := range rekeyMessages(params, id) {
+		for _, level := range []int{0, 2, params.Digits} {
+			b, err := wire.MarshalRekey(msg, level)
+			if err != nil {
+				return fmt.Errorf("rekey %d level %d: %w", i, level, err)
+			}
+			rekeys = append(rekeys, b)
+		}
+	}
+	// Corrupted variants: truncations and a flipped byte exercise the
+	// error paths right next to the happy path.
+	if n := len(rekeys); n > 0 {
+		full := rekeys[n-1]
+		rekeys = append(rekeys, full[:len(full)/2], flip(full, len(full)-1))
+	}
+	if err := writeAll(filepath.Join(root, "FuzzUnmarshalRekey"), rekeys); err != nil {
+		return err
+	}
+
+	var replies [][]byte
+	for i, recs := range [][]overlay.Record{
+		{},
+		{{Host: 1, ID: id(0)}},
+		{{Host: 3, ID: id(12345)}, {Host: 65535, ID: id(1 << 20)}},
+		{{Host: 7, ID: id(99)}, {Host: 8, ID: id(100)}, {Host: 9, ID: id(101)}},
+	} {
+		b, err := wire.MarshalQueryReply(recs)
+		if err != nil {
+			return fmt.Errorf("reply %d: %w", i, err)
+		}
+		replies = append(replies, b)
+	}
+	last := replies[len(replies)-1]
+	replies = append(replies, last[:len(last)-3], flip(last, 1))
+	if err := writeAll(filepath.Join(root, "FuzzUnmarshalQueryReply"), replies); err != nil {
+		return err
+	}
+
+	var queries [][]byte
+	for _, p := range []ident.Prefix{
+		ident.EmptyPrefix,
+		id(12345).Prefix(1),
+		id(12345).Prefix(3),
+		id(1 << 30).Prefix(params.Digits),
+	} {
+		queries = append(queries, wire.MarshalQuery(wire.Query{Target: p}))
+	}
+	q := queries[len(queries)-1]
+	queries = append(queries, q[:1], flip(q, len(q)-1))
+	return writeAll(filepath.Join(root, "FuzzUnmarshalQuery"), queries)
+}
+
+// rekeyMessages covers the encryption-shape axes: empty batch, single
+// entry, multi-entry with prefixes of several depths and key versions,
+// and a larger message with realistic ciphertext sizes.
+func rekeyMessages(params ident.Params, id func(int) ident.ID) []*keytree.Message {
+	enc := func(target, key ident.Prefix, ver uint64, ct string) keycrypt.Encryption {
+		return keycrypt.Encryption{ID: target, KeyID: key, KeyVersion: ver, Ciphertext: []byte(ct)}
+	}
+	big := &keytree.Message{Interval: 1 << 40}
+	for i := 0; i < 12; i++ {
+		u := id(i * 7919)
+		big.Encryptions = append(big.Encryptions,
+			enc(u.Prefix(i%params.Digits), u.Prefix((i+1)%params.Digits+1), uint64(i),
+				fmt.Sprintf("ciphertext-%02d-0123456789abcdef", i)))
+	}
+	return []*keytree.Message{
+		{Interval: 0},
+		{Interval: 7, Encryptions: []keycrypt.Encryption{
+			enc(ident.EmptyPrefix, ident.EmptyPrefix, 1, "ct"),
+		}},
+		{Interval: 42, Encryptions: []keycrypt.Encryption{
+			enc(id(5).Prefix(2), id(5).Prefix(3), 9, "group-key-bytes"),
+			enc(id(900).Prefix(4), id(900).Prefix(5), 10, ""),
+		}},
+		big,
+	}
+}
+
+func flip(b []byte, i int) []byte {
+	out := append([]byte(nil), b...)
+	out[i] ^= 0x80
+	return out
+}
+
+func writeAll(dir string, inputs [][]byte) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for i, in := range inputs {
+		body := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", in)
+		name := filepath.Join(dir, fmt.Sprintf("seed-%02d", i))
+		if err := os.WriteFile(name, []byte(body), 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}
