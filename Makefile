@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 5s
 
-.PHONY: ci build vet test race bench soak-short fuzz
+.PHONY: ci build vet test race bench bench-rekey soak-short fuzz
 
 # ci is the full verification gate: static checks, the race detector
 # over the whole tree (the parallel experiment harness in internal/exp
@@ -42,3 +42,12 @@ fuzz:
 # run-level fan-out (speedup requires GOMAXPROCS > 1).
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x .
+
+# bench-rekey compares the staged rekey pipeline sequential vs parallel
+# at N=4096 members with real AES-GCM: key regeneration across level-1
+# ID subtrees (ProcessInterval) and split delivery + keyring apply
+# (DistributeRekey). Regeneration speedup requires GOMAXPROCS > 1; the
+# distribution pair also gains from the parallel path's per-subtree
+# prefilter table.
+bench-rekey:
+	$(GO) test -run '^$$' -bench 'ProcessInterval|DistributeRekey' -benchtime 3x .

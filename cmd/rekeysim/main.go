@@ -53,10 +53,11 @@ func run(args []string) int {
 		soakIntervals = fs.Int("soak-intervals", 0, "override the soak's rekey interval count")
 		soakMembers   = fs.Int("soak-members", 0, "override the soak's initial group size")
 		soakLoss      = fs.Float64("soak-loss", -1, "override the soak's per-hop loss probability")
+		soakRekeyPar  = fs.Int("soak-rekey-parallelism", 0, "override the soak's key-regeneration worker fan-out; 1 = sequential (rekey messages are byte-identical either way)")
 	)
 	fs.Usage = func() {
 		fmt.Fprintf(fs.Output(), "usage: rekeysim [flags] <fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14|joincost|ablation|packets|loss|gnp|congestion|all>\n")
-		fmt.Fprintf(fs.Output(), "       rekeysim -soak [-seed N] [-soak-intervals N] [-soak-members N] [-soak-loss P]\n")
+		fmt.Fprintf(fs.Output(), "       rekeysim -soak [-seed N] [-soak-intervals N] [-soak-members N] [-soak-loss P] [-soak-rekey-parallelism N]\n")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -67,7 +68,7 @@ func run(args []string) int {
 			fs.Usage()
 			return 2
 		}
-		return runSoak(*seed, *soakIntervals, *soakMembers, *soakLoss)
+		return runSoak(*seed, *soakIntervals, *soakMembers, *soakLoss, *soakRekeyPar)
 	}
 	if fs.NArg() != 1 {
 		fs.Usage()
@@ -87,7 +88,7 @@ func run(args []string) int {
 // runSoak drives one chaos soak session and prints its canonical
 // report; the exit status reflects the invariant verdicts, so the soak
 // can gate CI directly.
-func runSoak(seed int64, intervals, members int, loss float64) int {
+func runSoak(seed int64, intervals, members int, loss float64, rekeyParallelism int) int {
 	cfg := chaos.DefaultConfig(seed)
 	if intervals > 0 {
 		cfg.Intervals = intervals
@@ -97,6 +98,9 @@ func runSoak(seed int64, intervals, members int, loss float64) int {
 	}
 	if loss >= 0 {
 		cfg.HopLoss = loss
+	}
+	if rekeyParallelism > 0 {
+		cfg.RekeyParallelism = rekeyParallelism
 	}
 	e, err := chaos.New(cfg)
 	if err != nil {

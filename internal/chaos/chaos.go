@@ -92,6 +92,12 @@ type Config struct {
 	// the final sweep always runs).
 	FullSweepEvery int
 
+	// RekeyParallelism bounds the worker fan-out of the key-regeneration
+	// stage (keytree.Regenerate). Values <= 1 regenerate sequentially;
+	// either way the rekey messages are byte-identical, so replay
+	// comparisons hold across settings.
+	RekeyParallelism int
+
 	Topology vnet.GTITMConfig
 }
 
@@ -122,6 +128,10 @@ func DefaultConfig(seed int64) Config {
 		RetryMax:       time.Second,
 		RetryBudget:    3,
 		FullSweepEvery: 5,
+		// Exercise the parallel regeneration path by default so the
+		// race-enabled soak drives it; determinism auditors confirm the
+		// output matches the sequential contract.
+		RekeyParallelism: 4,
 		Topology: vnet.GTITMConfig{
 			TransitDomains:   2,
 			TransitPerDomain: 2,
@@ -132,6 +142,17 @@ func DefaultConfig(seed int64) Config {
 			AccessDelayMax:   3 * time.Millisecond,
 		},
 	}
+}
+
+// rekeyBatch drives the key tree's staged rekey pipeline (mark, then
+// regenerate with the configured fan-out) — the same engine the core
+// Group and the experiment harness use.
+func rekeyBatch(tree *keytree.Tree, joins, leaves []ident.ID, parallelism int) (*keytree.Message, error) {
+	plan, err := tree.Mark(joins, leaves)
+	if err != nil {
+		return nil, err
+	}
+	return tree.Regenerate(plan, parallelism)
 }
 
 // Interval phase fractions: churn lands in the first 45%, the Theorem 1
@@ -334,7 +355,7 @@ func New(cfg Config) (*Engine, error) {
 		e.inTree[id.Key()] = true
 	}
 	sort.Slice(initial, func(i, j int) bool { return initial[i].Compare(initial[j]) < 0 })
-	if _, err := tree.Batch(initial, nil); err != nil {
+	if _, err := rekeyBatch(tree, initial, nil, cfg.RekeyParallelism); err != nil {
 		return nil, err
 	}
 	if _, err := mirror.process(); err != nil {
@@ -680,7 +701,7 @@ func (e *Engine) doRekey(now time.Duration, stats *IntervalStats, fail func(erro
 	sort.Slice(joins, func(i, j int) bool { return joins[i].Compare(joins[j]) < 0 })
 	sort.Slice(leaves, func(i, j int) bool { return leaves[i].Compare(leaves[j]) < 0 })
 
-	msg, err := e.tree.Batch(joins, leaves)
+	msg, err := rekeyBatch(e.tree, joins, leaves, e.cfg.RekeyParallelism)
 	if err != nil {
 		fail(fmt.Errorf("chaos: key tree batch: %w", err))
 		return

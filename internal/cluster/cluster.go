@@ -64,6 +64,10 @@ type Result struct {
 	// LeaderJoins and LeaderLeaves count the cluster-leader churn that
 	// actually triggered rekeying this interval.
 	LeaderJoins, LeaderLeaves int
+	// Joins and Leaves are the leader IDs that entered and left the
+	// leaders-only tree this interval, sorted, so callers can maintain
+	// per-leader state incrementally instead of rescanning every leader.
+	Joins, Leaves []ident.ID
 	// PairwiseUnicasts is the number of {groupKey}_pairwise unicasts
 	// the leaders send their members to finish distribution.
 	PairwiseUnicasts int
@@ -274,7 +278,15 @@ func (m *Manager) queueLeave(id ident.ID) {
 
 // Process ends the rekey interval: the queued leader churn is applied to
 // the leaders-only key tree and the resulting rekey message returned.
+// It is ProcessParallel with sequential key regeneration.
 func (m *Manager) Process() (*Result, error) {
+	return m.ProcessParallel(1)
+}
+
+// ProcessParallel is Process with the key-regeneration stage fanned out
+// across up to `parallelism` workers (see keytree.Regenerate); the
+// resulting message is byte-identical at any parallelism.
+func (m *Manager) ProcessParallel(parallelism int) (*Result, error) {
 	joins := make([]ident.ID, 0, len(m.pendingJoin))
 	for _, id := range m.pendingJoin {
 		joins = append(joins, id)
@@ -285,7 +297,11 @@ func (m *Manager) Process() (*Result, error) {
 	}
 	sort.Slice(joins, func(i, j int) bool { return joins[i].Compare(joins[j]) < 0 })
 	sort.Slice(leaves, func(i, j int) bool { return leaves[i].Compare(leaves[j]) < 0 })
-	msg, err := m.tree.Batch(joins, leaves)
+	plan, err := m.tree.Mark(joins, leaves)
+	if err != nil {
+		return nil, err
+	}
+	msg, err := m.tree.Regenerate(plan, parallelism)
 	if err != nil {
 		return nil, err
 	}
@@ -301,6 +317,8 @@ func (m *Manager) Process() (*Result, error) {
 		Message:          msg,
 		LeaderJoins:      len(joins),
 		LeaderLeaves:     len(leaves),
+		Joins:            joins,
+		Leaves:           leaves,
 		PairwiseUnicasts: unicasts,
 	}
 	m.pendingJoin = make(map[string]ident.ID)

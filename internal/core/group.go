@@ -24,6 +24,7 @@ import (
 	"tmesh/internal/ident"
 	"tmesh/internal/keycrypt"
 	"tmesh/internal/keytree"
+	"tmesh/internal/memberstate"
 	"tmesh/internal/overlay"
 	"tmesh/internal/split"
 	"tmesh/internal/tmesh"
@@ -53,10 +54,18 @@ type Config struct {
 	// SplitMode is the default rekey transport mode; zero defaults to
 	// per-encryption splitting.
 	SplitMode split.Mode
+	// Parallelism bounds the worker count of the pipeline's crypto
+	// stages (key regeneration across level-1 subtrees, keyring apply
+	// across delivered users). Values <= 1 run sequentially. The rekey
+	// messages, reports, and resulting member state are byte-identical
+	// at any setting.
+	Parallelism int
 }
 
-// Group is one secure multicast group. It is not safe for concurrent
-// use; drive it from a single goroutine (or the event simulator).
+// Group is one secure multicast group. Drive it from a single goroutine
+// (or the event simulator); with Config.Parallelism > 1 the rekey
+// pipeline fans its crypto stages out internally but returns with all
+// workers joined.
 type Group struct {
 	cfg      Config
 	dir      *overlay.Directory
@@ -68,13 +77,13 @@ type Group struct {
 	pendingJoins  []ident.ID
 	pendingLeaves []ident.ID
 
-	// keyrings is populated only with RealCrypto; in cluster mode only
-	// leaders keep full keyrings, and groupKeys tracks what every user
-	// believes the group key is.
-	keyrings  map[string]*keytree.Keyring
-	groupKeys map[string]keycrypt.Key
+	// members holds per-user client state (keyring + believed group
+	// key), populated only with RealCrypto; in cluster mode only
+	// leaders keep full keyrings.
+	members *memberstate.Store
 
-	intervals int
+	intervals       int
+	keyringRebuilds int
 }
 
 // NewGroup validates the configuration and creates an empty group.
@@ -108,12 +117,11 @@ func NewGroup(cfg Config) (*Group, error) {
 		return nil, err
 	}
 	g := &Group{
-		cfg:       cfg,
-		dir:       dir,
-		assigner:  assigner,
-		rng:       rng,
-		keyrings:  make(map[string]*keytree.Keyring),
-		groupKeys: make(map[string]keycrypt.Key),
+		cfg:      cfg,
+		dir:      dir,
+		assigner: assigner,
+		rng:      rng,
+		members:  memberstate.NewStore(),
 	}
 	seed := []byte(fmt.Sprintf("group-seed-%d", cfg.Seed))
 	opts := keytree.Opts{RealCrypto: cfg.RealCrypto}
@@ -168,8 +176,7 @@ func (g *Group) Leave(id ident.ID) error {
 	if err := g.dir.Leave(id); err != nil {
 		return err
 	}
-	delete(g.keyrings, id.Key())
-	delete(g.groupKeys, id.Key())
+	g.members.Remove(id)
 	if g.clusters != nil {
 		return g.clusters.Leave(id)
 	}
@@ -177,29 +184,40 @@ func (g *Group) Leave(id ident.ID) error {
 	return nil
 }
 
+// Parallelism returns the effective worker bound of the pipeline's
+// crypto stages (always >= 1).
+func (g *Group) Parallelism() int {
+	if g.cfg.Parallelism > 1 {
+		return g.cfg.Parallelism
+	}
+	return 1
+}
+
 // ProcessInterval ends the current rekey interval: the batched joins and
-// leaves are applied to the key tree and the rekey message generated.
-// With RealCrypto, newly joined users receive their path keys (the
-// server's join-time unicast).
+// leaves are applied to the key tree (pipeline stages mark + regen) and
+// the rekey message generated. With RealCrypto, newly joined users
+// receive their path keys (the server's join-time unicast).
 func (g *Group) ProcessInterval() (*keytree.Message, error) {
 	g.intervals++
-	var msg *keytree.Message
 	if g.clusters != nil {
-		res, err := g.clusters.Process()
+		res, err := g.clusters.ProcessParallel(g.Parallelism())
 		if err != nil {
 			return nil, err
 		}
-		msg = res.Message
 		if g.cfg.RealCrypto {
-			if err := g.initLeaderKeyrings(); err != nil {
+			if err := g.initLeaderKeyrings(res.Joins); err != nil {
 				return nil, err
 			}
 		}
-		return msg, nil
+		return res.Message, nil
 	}
 	joins, leaves := g.pendingJoins, g.pendingLeaves
 	g.pendingJoins, g.pendingLeaves = nil, nil
-	msg, err := g.tree.Batch(joins, leaves)
+	plan, err := g.tree.Mark(joins, leaves)
+	if err != nil {
+		return nil, err
+	}
+	msg, err := g.tree.Regenerate(plan, g.Parallelism())
 	if err != nil {
 		return nil, err
 	}
@@ -222,18 +240,22 @@ func (g *Group) initKeyring(tree *keytree.Tree, id ident.ID) error {
 	if err != nil {
 		return err
 	}
-	g.keyrings[id.Key()] = kr
+	g.keyringRebuilds++
+	g.members.PutKeyring(id, kr)
 	if gk, ok := kr.GroupKey(); ok {
-		g.groupKeys[id.Key()] = gk
+		g.members.SetGroupKey(id, gk)
 	}
 	return nil
 }
 
-// initLeaderKeyrings (cluster mode) gives every current leader a fresh
-// keyring from the leaders-only tree; cheap and idempotent at the scale
-// the examples run at.
-func (g *Group) initLeaderKeyrings() error {
-	for _, id := range g.clusters.Tree().Structure().Members(ident.EmptyPrefix) {
+// initLeaderKeyrings (cluster mode) gives leaders that just entered the
+// leaders-only tree a keyring built from their server-side path keys.
+// Incumbent leaders are NOT rebuilt: their keyrings advance by applying
+// the rekey message the multicast delivers to them, exactly like users
+// in non-cluster mode, so the per-interval cost is proportional to
+// leader churn rather than to the number of leaders.
+func (g *Group) initLeaderKeyrings(joined []ident.ID) error {
+	for _, id := range joined {
 		if err := g.initKeyring(g.clusters.Tree(), id); err != nil {
 			return err
 		}
@@ -241,43 +263,49 @@ func (g *Group) initLeaderKeyrings() error {
 	return nil
 }
 
-// DistributeRekey multicasts the rekey message over the T-mesh with the
-// group's splitting mode. With RealCrypto, each user's keyring applies
-// exactly the encryptions delivered to it; in cluster mode, leaders then
-// unicast the new group key to their members under pairwise keys.
+// KeyringRebuilds returns how many times the server has built a full
+// keyring from path keys (join-time unicasts). Incremental maintenance
+// means this grows with membership churn, not with interval count.
+func (g *Group) KeyringRebuilds() int { return g.keyringRebuilds }
+
+// DistributeRekey runs the pipeline's delivery and apply stages: the
+// rekey message is multicast over the T-mesh with the group's splitting
+// mode, then (with RealCrypto) every delivered user's keyring applies
+// exactly the encryptions the splitting scheme handed it, fanned out
+// across the bounded worker pool. Apply failures are collected and
+// reported together, sorted by user ID (*ApplyError). In cluster mode,
+// leaders then unicast the new group key to their members under
+// pairwise keys.
 func (g *Group) DistributeRekey(msg *keytree.Message) (*split.Report, error) {
 	if msg == nil {
 		return nil, errors.New("core: nil rekey message")
 	}
-	opts := split.Options{Mode: g.cfg.SplitMode}
+	opts := split.Options{
+		Mode:        g.cfg.SplitMode,
+		Parallelism: g.Parallelism(),
+	}
 	if g.clusters != nil {
 		// Footnote 8: route rekey hops of the bottom row to the
 		// earliest-joined neighbors, i.e. the cluster leaders.
 		opts.EarliestPrimaryRow = g.Params().Digits - 2
 	}
-	applyErrs := make(map[string]error)
 	if g.cfg.RealCrypto {
-		opts.OnDeliver = func(to ident.ID, encs []keycrypt.Encryption, _ int) {
-			kr, ok := g.keyrings[to.Key()]
-			if !ok {
-				return
-			}
-			sub := &keytree.Message{Interval: msg.Interval, Encryptions: encs}
-			if _, err := kr.Apply(sub); err != nil {
-				applyErrs[to.Key()] = err
-				return
-			}
-			if gk, ok := kr.GroupKey(); ok {
-				g.groupKeys[to.Key()] = gk
-			}
-		}
+		// Deliveries are collected rather than applied in-line: the
+		// transport's callback runs on the simulator's critical path,
+		// and applying there would also mean mutating member state from
+		// whatever goroutine the transport runs on. Collection is
+		// cheap; apply then fans out below.
+		opts.Collect = true
 	}
 	rep, err := split.Rekey(g.dir, msg, opts)
 	if err != nil {
 		return nil, err
 	}
-	for key, err := range applyErrs {
-		return nil, fmt.Errorf("core: user %v failed to apply rekey: %w", ident.IDFromKey(key), err)
+	if g.cfg.RealCrypto {
+		applier := &storeApplier{store: g.members, parallelism: g.Parallelism()}
+		if err := applier.Apply(msg.Interval, rep.Deliveries); err != nil {
+			return nil, err
+		}
 	}
 	if g.cfg.RealCrypto && g.clusters != nil {
 		g.distributeViaLeaders()
@@ -295,15 +323,14 @@ func (g *Group) distributeViaLeaders() {
 		return
 	}
 	for _, rec := range g.dir.Members(ident.EmptyPrefix) {
-		g.groupKeys[rec.ID.Key()] = gk
+		g.members.SetGroupKey(rec.ID, gk)
 	}
 }
 
 // GroupKeyOf returns the group key a user currently holds (RealCrypto
 // only).
 func (g *Group) GroupKeyOf(id ident.ID) (keycrypt.Key, bool) {
-	k, ok := g.groupKeys[id.Key()]
-	return k, ok
+	return g.members.GroupKey(id)
 }
 
 // ServerGroupKey returns the key server's current group key.
@@ -317,9 +344,13 @@ func (g *Group) ServerGroupKey() (keycrypt.Key, bool) {
 // KeyringOf returns a user's keyring (RealCrypto only; in cluster mode
 // leaders only).
 func (g *Group) KeyringOf(id ident.ID) (*keytree.Keyring, bool) {
-	kr, ok := g.keyrings[id.Key()]
-	return kr, ok
+	kr := g.members.Keyring(id)
+	return kr, kr != nil
 }
+
+// Members exposes the sharded member-state store (keyrings and believed
+// group keys) the apply stage writes into.
+func (g *Group) Members() *memberstate.Store { return g.members }
 
 // Clusters exposes the cluster manager in cluster-rekeying mode.
 func (g *Group) Clusters() *cluster.Manager { return g.clusters }

@@ -201,10 +201,22 @@ func buildBandwidthWorld(cfg BandwidthConfig) (*bwWorld, error) {
 	for i, r := range baseRecs {
 		baseIDs[i] = r.ID
 	}
-	if _, err := mtree.Batch(baseIDs, nil); err != nil {
+	// The world is built before the per-protocol fan-out, so the rekey
+	// pipeline's regeneration stage can use the run's worker budget
+	// here without oversubscribing (output is byte-identical either
+	// way).
+	regenWorkers := workersFor(cfg.Parallel, cfg.Assign.Params.Base)
+	stagedBatch := func(joins, leaves []ident.ID) (*keytree.Message, error) {
+		plan, err := mtree.Mark(joins, leaves)
+		if err != nil {
+			return nil, err
+		}
+		return mtree.Regenerate(plan, regenWorkers)
+	}
+	if _, err := stagedBatch(baseIDs, nil); err != nil {
 		return nil, err
 	}
-	if _, err := w.cm.Process(); err != nil {
+	if _, err := w.cm.ProcessParallel(regenWorkers); err != nil {
 		return nil, err
 	}
 
@@ -234,11 +246,11 @@ func buildBandwidthWorld(cfg BandwidthConfig) (*bwWorld, error) {
 			return nil, err
 		}
 	}
-	w.modMsg, err = mtree.Batch(joinIDs, leavers)
+	w.modMsg, err = stagedBatch(joinIDs, leavers)
 	if err != nil {
 		return nil, err
 	}
-	cres, err := w.cm.Process()
+	cres, err := w.cm.ProcessParallel(regenWorkers)
 	if err != nil {
 		return nil, err
 	}

@@ -133,17 +133,43 @@ func (e Encryption) RelevantTo(w ident.Prefix) bool {
 }
 
 // Wrap encrypts newKey under kek, producing an Encryption identified per
-// the paper's scheme.
+// the paper's scheme. The nonce is drawn from crypto/rand.
 func Wrap(kek Key, kekID ident.Prefix, newKey Key, newKeyID ident.Prefix, version uint64) (Encryption, error) {
-	aead, err := newAEAD(kek)
-	if err != nil {
-		return Encryption{}, err
-	}
 	nonce := make([]byte, nonceSize)
 	if _, err := io.ReadFull(rand.Reader, nonce); err != nil {
 		return Encryption{}, fmt.Errorf("keycrypt: nonce: %w", err)
 	}
-	ct := aead.Seal(nonce, nonce, newKey.bytes[:], wrapAAD(kekID, newKeyID, version))
+	return wrapWithNonce(kek, kekID, newKey, newKeyID, version, nonce)
+}
+
+// WrapSeeded is Wrap with a deterministic nonce derived via HMAC-SHA256
+// from nonceSeed, the encryption's AAD, and a caller-supplied context
+// value. Identical inputs produce byte-identical ciphertexts, which lets
+// seeded simulations reproduce rekey messages exactly regardless of how
+// wrapping work is scheduled across workers.
+//
+// Nonce-safety contract: the caller must ensure that for a fixed kek
+// material the pair (AAD, context) never repeats. The key tree satisfies
+// it by passing its rekey interval as the context: the AAD binds
+// (kekID, newKeyID, version), a node's version is bumped on every rekey,
+// and the interval disambiguates wraps of distinct nodes that could
+// otherwise collide across tree reconfigurations.
+func WrapSeeded(kek Key, kekID ident.Prefix, newKey Key, newKeyID ident.Prefix, version uint64, nonceSeed []byte, context uint64) (Encryption, error) {
+	mac := hmac.New(sha256.New, nonceSeed)
+	mac.Write([]byte("nonce/"))
+	mac.Write(wrapAAD(kekID, newKeyID, version))
+	var ctx [8]byte
+	binary.BigEndian.PutUint64(ctx[:], context)
+	mac.Write(ctx[:])
+	return wrapWithNonce(kek, kekID, newKey, newKeyID, version, mac.Sum(nil)[:nonceSize])
+}
+
+func wrapWithNonce(kek Key, kekID ident.Prefix, newKey Key, newKeyID ident.Prefix, version uint64, nonce []byte) (Encryption, error) {
+	aead, err := newAEAD(kek)
+	if err != nil {
+		return Encryption{}, err
+	}
+	ct := aead.Seal(append([]byte(nil), nonce...), nonce, newKey.bytes[:], wrapAAD(kekID, newKeyID, version))
 	return Encryption{
 		ID:         kekID,
 		KeyID:      newKeyID,

@@ -24,6 +24,8 @@ package keytree
 import (
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"tmesh/internal/ident"
 	"tmesh/internal/keycrypt"
@@ -44,11 +46,14 @@ type node struct {
 }
 
 // Tree is the key server's modified key tree. It is not safe for
-// concurrent use.
+// concurrent use: Mark and Regenerate must be called from one
+// goroutine, though Regenerate may internally fan its crypto work out
+// across workers.
 type Tree struct {
-	params ident.Params
-	seed   []byte
-	opts   Opts
+	params    ident.Params
+	seed      []byte
+	nonceSeed []byte // deterministic GCM nonce derivation (see keycrypt.WrapSeeded)
+	opts      Opts
 
 	structure *ident.Tree       // ID tree of current members
 	knodes    map[string]*node  // prefix key -> k-node (levels 0..D-1)
@@ -80,6 +85,7 @@ func New(params ident.Params, seed []byte, opts Opts) (*Tree, error) {
 	return &Tree{
 		params:    params,
 		seed:      append([]byte(nil), seed...),
+		nonceSeed: keycrypt.DeriveKey(seed, "nonce-seed").Bytes(),
 		opts:      opts,
 		structure: ident.NewTree(params),
 		knodes:    make(map[string]*node),
@@ -161,11 +167,41 @@ func (t *Tree) deriveKey(label string, version uint64) keycrypt.Key {
 	return keycrypt.DeriveKey(t.seed, fmt.Sprintf("%s/v%d", label, version))
 }
 
+// BatchPlan is the output of Mark: the structural outcome of one rekey
+// interval, ready to have its keys regenerated. A plan is bound to the
+// tree state right after Mark and must be passed to Regenerate exactly
+// once, before any further Mark.
+type BatchPlan struct {
+	// Interval is the rekey interval sequence number this plan belongs to.
+	Interval uint64
+	// Updated lists the k-nodes whose keys must change, deepest first
+	// (ties by node key) — the order encryptions appear in the Message.
+	Updated []ident.Prefix
+	spent   bool
+}
+
 // Batch processes one rekey interval: J joins and L leaves, structural
 // maintenance, key updates along all changed paths, and encryption
 // generation. Joins and leaves must be disjoint, joins must not already
 // be members, and leaves must be members.
+//
+// Batch is Mark followed by a sequential Regenerate; callers wanting
+// parallel key regeneration invoke the two stages themselves.
 func (t *Tree) Batch(joins, leaves []ident.ID) (*Message, error) {
+	plan, err := t.Mark(joins, leaves)
+	if err != nil {
+		return nil, err
+	}
+	return t.Regenerate(plan, 1)
+}
+
+// Mark is the structural stage of a rekey interval: it validates the
+// batch, removes departed u-nodes, inserts joined u-nodes (with fresh
+// individual keys), prunes and creates k-nodes, and computes the
+// deepest-first list of k-nodes whose keys must be regenerated. The
+// tree's key material is NOT yet updated — the returned plan must be
+// handed to Regenerate to produce the interval's rekey message.
+func (t *Tree) Mark(joins, leaves []ident.ID) (*BatchPlan, error) {
 	t.interval++
 
 	// Validate the batch up front so the tree never ends half-updated.
@@ -242,23 +278,119 @@ func (t *Tree) Batch(joins, leaves []ident.ID) (*Message, error) {
 		}
 	}
 
-	// Key update phase: bump versions and re-derive keys of all updated
-	// k-nodes.
+	// Order the updated k-nodes deepest first, ties by key, for a
+	// deterministic message layout (and so receivers unwrap bottom-up).
 	ordered := make([]ident.Prefix, 0, len(updated))
 	for _, p := range updated {
 		ordered = append(ordered, p)
 	}
-	// Deepest first, ties by key for determinism.
 	sort.Slice(ordered, func(i, j int) bool {
 		if ordered[i].Len() != ordered[j].Len() {
 			return ordered[i].Len() > ordered[j].Len()
 		}
 		return ordered[i].Key() < ordered[j].Key()
 	})
-	for _, p := range ordered {
-		n := t.knodes[p.Key()]
-		n.version++
-		n.key = t.deriveKey("k:"+p.Key(), n.version+t.interval<<32)
+	return &BatchPlan{Interval: t.interval, Updated: ordered}, nil
+}
+
+// Regenerate is the crypto stage of a rekey interval: it bumps the
+// version and re-derives the key of every k-node in the plan, then
+// wraps each new key under its children's current keys (Section 2.4's
+// one-encryption-per-child rule), producing the interval's rekey
+// message.
+//
+// parallelism bounds the worker count of both crypto phases (values < 1
+// mean 1). The work fans out across level-1 ID subtrees — the paper's
+// natural unit of independence: by Lemma 3 an encryption generated in
+// one level-1 subtree is only ever needed by users of that subtree, and
+// no key on one subtree's paths feeds another's wrapping except through
+// the root, which is handled as its own unit after a barrier. The
+// resulting message is byte-identical at any parallelism: derivation
+// depends only on (seed, node, version, interval), nonces are derived
+// via keycrypt.WrapSeeded, and encryptions are assembled into
+// per-node slots that are concatenated in plan order.
+func (t *Tree) Regenerate(plan *BatchPlan, parallelism int) (*Message, error) {
+	if plan == nil || plan.spent {
+		return nil, fmt.Errorf("keytree: batch plan already regenerated")
+	}
+	if plan.Interval != t.interval {
+		return nil, fmt.Errorf("keytree: stale batch plan (plan interval %d, tree interval %d)", plan.Interval, t.interval)
+	}
+	plan.spent = true
+	if parallelism < 1 {
+		parallelism = 1
+	}
+
+	// Group the plan's node indices by level-1 subtree; the root (the
+	// only node of length 0) forms its own group. Groups touch disjoint
+	// *node structs in the update phase and are read-only in the wrap
+	// phase, so workers never contend. The knodes map itself is not
+	// mutated here — Mark already inserted every needed entry.
+	groups := make(map[string][]int)
+	groupOrder := make([]string, 0)
+	for i, p := range plan.Updated {
+		g := ""
+		if p.Len() > 0 {
+			g = p.Key()[:1] // level-1 digit
+		}
+		if _, ok := groups[g]; !ok {
+			groupOrder = append(groupOrder, g)
+		}
+		groups[g] = append(groups[g], i)
+	}
+
+	runGroups := func(fn func(indices []int) error) error {
+		workers := parallelism
+		if workers > len(groupOrder) {
+			workers = len(groupOrder)
+		}
+		if workers <= 1 {
+			for _, g := range groupOrder {
+				if err := fn(groups[g]); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		var next atomic.Int64
+		errs := make([]error, len(groupOrder))
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(groupOrder) {
+						return
+					}
+					errs[i] = fn(groups[groupOrder[i]])
+				}
+			}()
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	// Key update phase: bump versions and re-derive keys. Each node is
+	// independent of every other, so groups run concurrently; the
+	// barrier before the wrap phase guarantees the root (and every
+	// other parent) wraps only fully regenerated child keys.
+	if err := runGroups(func(indices []int) error {
+		for _, i := range indices {
+			p := plan.Updated[i]
+			n := t.knodes[p.Key()]
+			n.version++
+			n.key = t.deriveKey("k:"+p.Key(), n.version+t.interval<<32)
+		}
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 
 	// Encryption phase: for each updated k-node, wrap its new key under
@@ -266,23 +398,41 @@ func (t *Tree) Batch(joins, leaves []ident.ID) (*Message, error) {
 	// (individual keys); others are k-nodes whose keys — if they were
 	// also updated — are already the new ones, so a user unwraps its
 	// path bottom-up starting from its immutable individual key.
-	msg := &Message{Interval: t.interval}
-	for _, p := range ordered {
-		parent := t.knodes[p.Key()]
-		for _, d := range t.structure.ChildDigits(p) {
-			child := p.Child(d)
-			var childKey keycrypt.Key
-			if child.Len() == t.params.Digits {
-				childKey = t.unodes[child.Key()].key
-			} else {
-				childKey = t.knodes[child.Key()].key
+	// Encryptions land in per-node slots, flattened in plan order, so
+	// the message layout is independent of worker scheduling.
+	slots := make([][]keycrypt.Encryption, len(plan.Updated))
+	if err := runGroups(func(indices []int) error {
+		for _, i := range indices {
+			p := plan.Updated[i]
+			parent := t.knodes[p.Key()]
+			for _, d := range t.structure.ChildDigits(p) {
+				child := p.Child(d)
+				var childKey keycrypt.Key
+				if child.Len() == t.params.Digits {
+					childKey = t.unodes[child.Key()].key
+				} else {
+					childKey = t.knodes[child.Key()].key
+				}
+				enc, err := t.wrap(childKey, child, parent.key, p, parent.version)
+				if err != nil {
+					return err
+				}
+				slots[i] = append(slots[i], enc)
 			}
-			enc, err := t.wrap(childKey, child, parent.key, p, parent.version)
-			if err != nil {
-				return nil, err
-			}
-			msg.Encryptions = append(msg.Encryptions, enc)
 		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+
+	msg := &Message{Interval: t.interval}
+	total := 0
+	for _, s := range slots {
+		total += len(s)
+	}
+	msg.Encryptions = make([]keycrypt.Encryption, 0, total)
+	for _, s := range slots {
+		msg.Encryptions = append(msg.Encryptions, s...)
 	}
 	return msg, nil
 }
@@ -291,7 +441,7 @@ func (t *Tree) wrap(kek keycrypt.Key, kekID ident.Prefix, newKey keycrypt.Key, k
 	if !t.opts.RealCrypto {
 		return keycrypt.Encryption{ID: kekID, KeyID: keyID, KeyVersion: version}, nil
 	}
-	enc, err := keycrypt.Wrap(kek, kekID, newKey, keyID, version)
+	enc, err := keycrypt.WrapSeeded(kek, kekID, newKey, keyID, version, t.nonceSeed, t.interval)
 	if err != nil {
 		return keycrypt.Encryption{}, fmt.Errorf("keytree: wrapping key %v: %w", keyID, err)
 	}

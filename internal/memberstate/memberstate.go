@@ -1,0 +1,152 @@
+// Package memberstate holds the key server's view of per-member client
+// state — each user's keyring and last-known group key — in a sharded,
+// mutex-striped store so the rekey pipeline's parallel apply stage can
+// update many members concurrently without a global lock.
+//
+// The store guards its own maps; the *keytree.Keyring values themselves
+// are not synchronized. The pipeline preserves safety by partitioning
+// work so each user is touched by exactly one worker per stage, which
+// is the natural shape anyway: one keyring belongs to one user.
+package memberstate
+
+import (
+	"sort"
+	"sync"
+
+	"tmesh/internal/ident"
+	"tmesh/internal/keycrypt"
+	"tmesh/internal/keytree"
+)
+
+// shardCount is the number of mutex stripes. A modest power of two is
+// plenty: contention only occurs when two workers hash to the same
+// stripe at the same instant, and apply workers are bounded.
+const shardCount = 64
+
+type entry struct {
+	keyring  *keytree.Keyring
+	groupKey keycrypt.Key
+	hasGroup bool
+}
+
+type shard struct {
+	mu      sync.RWMutex
+	entries map[string]*entry
+}
+
+// Store is a sharded map from user ID to member state. The zero value
+// is not usable; call NewStore.
+type Store struct {
+	shards [shardCount]shard
+}
+
+// NewStore creates an empty store.
+func NewStore() *Store {
+	s := &Store{}
+	for i := range s.shards {
+		s.shards[i].entries = make(map[string]*entry)
+	}
+	return s
+}
+
+// fnv1a hashes the ID key string (FNV-1a, 32-bit).
+func fnv1a(key string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= 16777619
+	}
+	return h
+}
+
+func (s *Store) shardFor(key string) *shard {
+	return &s.shards[fnv1a(key)%shardCount]
+}
+
+func (sh *shard) getOrCreate(key string) *entry {
+	e, ok := sh.entries[key]
+	if !ok {
+		e = &entry{}
+		sh.entries[key] = e
+	}
+	return e
+}
+
+// PutKeyring installs (or replaces) a user's keyring.
+func (s *Store) PutKeyring(u ident.ID, kr *keytree.Keyring) {
+	sh := s.shardFor(u.Key())
+	sh.mu.Lock()
+	sh.getOrCreate(u.Key()).keyring = kr
+	sh.mu.Unlock()
+}
+
+// Keyring returns a user's keyring, or nil if the user has none.
+func (s *Store) Keyring(u ident.ID) *keytree.Keyring {
+	sh := s.shardFor(u.Key())
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	e, ok := sh.entries[u.Key()]
+	if !ok {
+		return nil
+	}
+	return e.keyring
+}
+
+// SetGroupKey records the group key a user currently holds.
+func (s *Store) SetGroupKey(u ident.ID, k keycrypt.Key) {
+	sh := s.shardFor(u.Key())
+	sh.mu.Lock()
+	e := sh.getOrCreate(u.Key())
+	e.groupKey = k
+	e.hasGroup = true
+	sh.mu.Unlock()
+}
+
+// GroupKey returns the group key a user holds; ok is false if the user
+// has never received one.
+func (s *Store) GroupKey(u ident.ID) (keycrypt.Key, bool) {
+	sh := s.shardFor(u.Key())
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	e, ok := sh.entries[u.Key()]
+	if !ok || !e.hasGroup {
+		return keycrypt.Key{}, false
+	}
+	return e.groupKey, true
+}
+
+// Remove deletes all state for a user.
+func (s *Store) Remove(u ident.ID) {
+	sh := s.shardFor(u.Key())
+	sh.mu.Lock()
+	delete(sh.entries, u.Key())
+	sh.mu.Unlock()
+}
+
+// Len returns the number of users with any recorded state.
+func (s *Store) Len() int {
+	n := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		n += len(sh.entries)
+		sh.mu.RUnlock()
+	}
+	return n
+}
+
+// Keys returns the ID keys of all users with state, sorted, so callers
+// can iterate deterministically regardless of shard layout.
+func (s *Store) Keys() []string {
+	out := make([]string, 0, s.Len())
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for k := range sh.entries {
+			out = append(out, k)
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Strings(out)
+	return out
+}

@@ -28,9 +28,11 @@ func NewDistribution(samples []float64) *Distribution {
 // Len returns the number of samples.
 func (d *Distribution) Len() int { return len(d.samples) }
 
-// Sorted returns the samples in increasing order; callers must not
-// mutate the result.
-func (d *Distribution) Sorted() []float64 { return d.samples }
+// Sorted returns a copy of the samples in increasing order. Callers own
+// the result; mutating it cannot corrupt the distribution.
+func (d *Distribution) Sorted() []float64 {
+	return append([]float64(nil), d.samples...)
+}
 
 // Mean returns the arithmetic mean (0 for an empty distribution).
 func (d *Distribution) Mean() float64 {

@@ -35,6 +35,25 @@ func TestDistributionBasics(t *testing.T) {
 	}
 }
 
+// TestSortedIsACopy pins the ownership contract: mutating the slice
+// Sorted returns must not corrupt the distribution.
+func TestSortedIsACopy(t *testing.T) {
+	d := NewDistribution([]float64{3, 1, 2, 5, 4})
+	leak := d.Sorted()
+	for i := range leak {
+		leak[i] = -1000
+	}
+	if got := d.Mean(); got != 3 {
+		t.Errorf("Mean after caller mutation = %v, want 3", got)
+	}
+	if got := d.Max(); got != 5 {
+		t.Errorf("Max after caller mutation = %v, want 5", got)
+	}
+	if fresh := d.Sorted(); !sortedAscending(fresh) || fresh[0] != 1 {
+		t.Errorf("Sorted after caller mutation = %v", fresh)
+	}
+}
+
 func sortedAscending(xs []float64) bool {
 	for i := 1; i < len(xs); i++ {
 		if xs[i-1] > xs[i] {

@@ -19,6 +19,7 @@ package split
 
 import (
 	"fmt"
+	"sync"
 
 	"tmesh/internal/ident"
 	"tmesh/internal/keycrypt"
@@ -122,6 +123,27 @@ type Options struct {
 	// the cluster heuristic prefers earliest-joined primaries at row
 	// D-2 so leaders receive the message at level D-1).
 	EarliestPrimaryRow int
+	// Collect, when true, records every delivery (user, level, and the
+	// encryptions it received) in Report.Deliveries, in arrival order.
+	// The collection is mutex-guarded, so it is safe even if the
+	// transport ever invokes delivery callbacks concurrently; arrival
+	// order itself is fixed by the deterministic simulation.
+	Collect bool
+	// Parallelism, when > 1, precomputes the per-level-1-subtree splits
+	// of the full message with that many workers before the multicast
+	// starts. The server's B first-hop filters are the only ones that
+	// scan the entire message, so hoisting them off the (serial)
+	// simulation loop shrinks its critical path. Filtering is a pure
+	// function of (message, subtree), so the transported bytes are
+	// identical at any parallelism.
+	Parallelism int
+}
+
+// Delivery records one user's receipt of rekey encryptions.
+type Delivery struct {
+	To          ident.ID
+	Level       int
+	Encryptions []keycrypt.Encryption
 }
 
 // Report is the bandwidth accounting of one rekey transport session, in
@@ -139,6 +161,9 @@ type Report struct {
 	// ServerUnits is the number of encryptions the key server emitted
 	// across its B first-hop messages.
 	ServerUnits int
+	// Deliveries holds every user delivery in arrival order when
+	// Options.Collect is set; nil otherwise.
+	Deliveries []Delivery
 	// Multicast is the underlying session result.
 	Multicast *tmesh.Result
 }
@@ -157,6 +182,25 @@ func Rekey(dir *overlay.Directory, msg *keytree.Message, opts Options) (*Report,
 		opts.Mode = PerEncryption
 	}
 
+	// Delivery observation: forward to the caller's OnDeliver and/or
+	// append to the mutex-guarded collection buffer.
+	var (
+		deliverMu  sync.Mutex
+		deliveries []Delivery
+	)
+	observe := opts.OnDeliver
+	if opts.Collect {
+		inner := observe
+		observe = func(to ident.ID, encs []keycrypt.Encryption, level int) {
+			deliverMu.Lock()
+			deliveries = append(deliveries, Delivery{To: to, Level: level, Encryptions: encs})
+			deliverMu.Unlock()
+			if inner != nil {
+				inner(to, encs, level)
+			}
+		}
+	}
+
 	var res *tmesh.Result
 	var err error
 	switch opts.Mode {
@@ -170,9 +214,12 @@ func Rekey(dir *overlay.Directory, msg *keytree.Message, opts Options) (*Report,
 		}
 		if opts.Mode == PerEncryption {
 			cfg.SplitHop = Filter
+			if opts.Parallelism > 1 {
+				cfg.SplitHop = prefilteredSplit(dir, msg.Encryptions, opts.Parallelism)
+			}
 		}
-		if opts.OnDeliver != nil {
-			cfg.OnDeliver = opts.OnDeliver
+		if observe != nil {
+			cfg.OnDeliver = observe
 		}
 		res, err = tmesh.Multicast(cfg, msg.Encryptions)
 	case PerPacket:
@@ -194,13 +241,13 @@ func Rekey(dir *overlay.Directory, msg *keytree.Message, opts Options) (*Report,
 				return n
 			},
 		}
-		if opts.OnDeliver != nil {
+		if observe != nil {
 			cfg.OnDeliver = func(to ident.ID, pkts []Packet, level int) {
 				var flat []keycrypt.Encryption
 				for _, p := range pkts {
 					flat = append(flat, p...)
 				}
-				opts.OnDeliver(to, flat, level)
+				observe(to, flat, level)
 			}
 		}
 		res, err = tmesh.Multicast(cfg, Packetize(msg.Encryptions, size))
@@ -215,6 +262,7 @@ func Rekey(dir *overlay.Directory, msg *keytree.Message, opts Options) (*Report,
 		ReceivedPerUser:  make(map[string]int, len(res.Users)),
 		ForwardedPerUser: make(map[string]int, len(res.Users)),
 		LinkUnits:        res.LinkUnits,
+		Deliveries:       deliveries,
 		Multicast:        res,
 	}
 	for key, st := range res.Users {
@@ -230,4 +278,48 @@ func Rekey(dir *overlay.Directory, msg *keytree.Message, opts Options) (*Report,
 		}
 	}
 	return rep, nil
+}
+
+// prefilteredSplit returns a SplitHop that serves the server's first-hop
+// splits (full message, level-1 subtree) from a table computed up front
+// by `workers` goroutines — one Filter pass per occupied level-1 digit —
+// and falls back to plain Filter everywhere else. Deeper hops then
+// filter already-reduced slices, so no hop on the simulation's critical
+// path scans the whole message.
+func prefilteredSplit(dir *overlay.Directory, full []keycrypt.Encryption, workers int) func([]keycrypt.Encryption, ident.Prefix) []keycrypt.Encryption {
+	digits := dir.Tree().ChildDigits(ident.EmptyPrefix)
+	if workers > len(digits) {
+		workers = len(digits)
+	}
+	table := make(map[string][]keycrypt.Encryption, len(digits))
+	subtrees := make([]ident.Prefix, len(digits))
+	for i, d := range digits {
+		subtrees[i] = ident.EmptyPrefix.Child(d)
+	}
+	results := make([][]keycrypt.Encryption, len(subtrees))
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < len(subtrees); i += workers {
+				results[i] = Filter(full, subtrees[i])
+			}
+		}(w)
+	}
+	wg.Wait()
+	for i, p := range subtrees {
+		table[p.Key()] = results[i]
+	}
+	return func(encs []keycrypt.Encryption, subtree ident.Prefix) []keycrypt.Encryption {
+		// The table only answers splits of the full message; a filtered
+		// subset with the same length IS the full message (Filter only
+		// removes, preserving order).
+		if subtree.Len() == 1 && len(encs) == len(full) {
+			if pre, ok := table[subtree.Key()]; ok {
+				return pre
+			}
+		}
+		return Filter(encs, subtree)
+	}
 }
