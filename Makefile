@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 5s
 
-.PHONY: ci build vet test race bench bench-rekey soak-short fuzz
+.PHONY: ci build vet test race bench bench-rekey soak-short soak-metrics fuzz
 
 # ci is the full verification gate: static checks, the race detector
 # over the whole tree (the parallel experiment harness in internal/exp
@@ -27,6 +27,14 @@ race:
 # every paper-invariant auditor armed.
 soak-short:
 	$(GO) test -race ./internal/chaos -run Soak
+
+# soak-metrics runs a short instrumented soak with -metrics-out and
+# sanity-checks the JSONL stream (valid JSON per line, strictly
+# increasing interval numbers) with the jsonlcheck tool.
+soak-metrics:
+	mkdir -p results
+	$(GO) run ./cmd/rekeysim -soak -soak-intervals 6 -soak-members 100 -metrics-out results/soak-metrics.jsonl
+	$(GO) run ./internal/obs/jsonlcheck results/soak-metrics.jsonl
 
 # fuzz gives each wire decoder a short budget on top of the committed
 # seed corpus (internal/wire/testdata/fuzz, regenerated with

@@ -23,16 +23,23 @@
 package main
 
 import (
+	"expvar"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/* on the default mux
 	"os"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"tmesh/internal/assign"
 	"tmesh/internal/chaos"
 	"tmesh/internal/exp"
+	"tmesh/internal/obs"
 )
 
 func main() {
@@ -54,21 +61,35 @@ func run(args []string) int {
 		soakMembers   = fs.Int("soak-members", 0, "override the soak's initial group size")
 		soakLoss      = fs.Float64("soak-loss", -1, "override the soak's per-hop loss probability")
 		soakRekeyPar  = fs.Int("soak-rekey-parallelism", 0, "override the soak's key-regeneration worker fan-out; 1 = sequential (rekey messages are byte-identical either way)")
+
+		metricsOut = fs.String("metrics-out", "", "write soak telemetry to this JSONL file: one deterministic record per audited interval plus a final registry snapshot (requires -soak)")
+		pprofAddr  = fs.String("pprof", "", "serve net/http/pprof and expvar (including the live telemetry registry) on this address, e.g. localhost:6060")
 	)
 	fs.Usage = func() {
 		fmt.Fprintf(fs.Output(), "usage: rekeysim [flags] <fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14|joincost|ablation|packets|loss|gnp|congestion|all>\n")
-		fmt.Fprintf(fs.Output(), "       rekeysim -soak [-seed N] [-soak-intervals N] [-soak-members N] [-soak-loss P] [-soak-rekey-parallelism N]\n")
+		fmt.Fprintf(fs.Output(), "       rekeysim -soak [-seed N] [-soak-intervals N] [-soak-members N] [-soak-loss P] [-soak-rekey-parallelism N] [-metrics-out FILE] [-pprof ADDR]\n")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *metricsOut != "" && !*soak {
+		fmt.Fprintln(os.Stderr, "rekeysim: -metrics-out requires -soak (experiments are not telemetry-wired)")
+		fs.Usage()
+		return 2
+	}
+	if *pprofAddr != "" {
+		if err := startPprof(*pprofAddr); err != nil {
+			fmt.Fprintln(os.Stderr, "rekeysim:", err)
+			return 1
+		}
 	}
 	if *soak {
 		if fs.NArg() != 0 {
 			fs.Usage()
 			return 2
 		}
-		return runSoak(*seed, *soakIntervals, *soakMembers, *soakLoss, *soakRekeyPar)
+		return runSoak(*seed, *soakIntervals, *soakMembers, *soakLoss, *soakRekeyPar, *metricsOut, *pprofAddr != "")
 	}
 	if fs.NArg() != 1 {
 		fs.Usage()
@@ -85,10 +106,46 @@ func run(args []string) int {
 	return 0
 }
 
+// activeObs holds the registry of the running soak so the expvar
+// endpoint can snapshot it; nil-safe either way (a nil registry
+// snapshots to the zero value).
+var activeObs atomic.Pointer[obs.Registry]
+
+var publishObsOnce sync.Once
+
+// startPprof serves net/http/pprof and expvar on addr using the default
+// mux. The listener outlives run() — fine for a CLI process, and the
+// sync.Once keeps repeated run() calls (tests) from double-publishing.
+func startPprof(addr string) error {
+	publishObsOnce.Do(func() {
+		expvar.Publish("tmesh_obs", expvar.Func(func() any {
+			return activeObs.Load().Snapshot()
+		}))
+	})
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("pprof listener: %w", err)
+	}
+	fmt.Fprintf(os.Stderr, "# pprof/expvar on http://%s/debug/pprof/ and /debug/vars\n", ln.Addr())
+	go http.Serve(ln, nil) //nolint:errcheck // best-effort debug endpoint
+	return nil
+}
+
+// metricsEvent is the final -metrics-out record: the full registry
+// snapshot. Unlike the per-interval records it carries wall-clock
+// histograms, so it is nondeterministic by construction and must stay
+// the stream's last, clearly-tagged line.
+type metricsEvent struct {
+	Kind     string       `json:"kind"` // always "metrics"
+	Snapshot obs.Snapshot `json:"snapshot"`
+}
+
 // runSoak drives one chaos soak session and prints its canonical
 // report; the exit status reflects the invariant verdicts, so the soak
-// can gate CI directly.
-func runSoak(seed int64, intervals, members int, loss float64, rekeyParallelism int) int {
+// can gate CI directly. With metricsOut the soak runs instrumented and
+// streams interval records (plus a final registry snapshot) to the
+// file; the report itself is byte-identical either way.
+func runSoak(seed int64, intervals, members int, loss float64, rekeyParallelism int, metricsOut string, withObs bool) int {
 	cfg := chaos.DefaultConfig(seed)
 	if intervals > 0 {
 		cfg.Intervals = intervals
@@ -102,6 +159,24 @@ func runSoak(seed int64, intervals, members int, loss float64, rekeyParallelism 
 	if rekeyParallelism > 0 {
 		cfg.RekeyParallelism = rekeyParallelism
 	}
+
+	var sink *obs.Sink
+	var metricsFile *os.File
+	if metricsOut != "" || withObs {
+		cfg.Obs = obs.New()
+		activeObs.Store(cfg.Obs)
+	}
+	if metricsOut != "" {
+		f, err := os.Create(metricsOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rekeysim:", err)
+			return 2
+		}
+		metricsFile = f
+		sink = obs.NewSink(f)
+		cfg.Sink = sink
+	}
+
 	e, err := chaos.New(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "rekeysim:", err)
@@ -113,10 +188,23 @@ func runSoak(seed int64, intervals, members int, loss float64, rekeyParallelism 
 		return 1
 	}
 	fmt.Print(rep.String())
+
+	code := 0
 	if rep.TotalViolations() > 0 {
-		return 1
+		code = 1
 	}
-	return 0
+	if metricsFile != nil {
+		sink.Emit(metricsEvent{Kind: "metrics", Snapshot: cfg.Obs.Snapshot()})
+		if err := sink.Err(); err != nil {
+			fmt.Fprintln(os.Stderr, "rekeysim: metrics sink:", err)
+			code = 1
+		}
+		if err := metricsFile.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "rekeysim: metrics file:", err)
+			code = 1
+		}
+	}
+	return code
 }
 
 type runner struct {

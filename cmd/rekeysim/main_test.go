@@ -1,7 +1,10 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
+	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -15,6 +18,7 @@ func TestRunArgHandling(t *testing.T) {
 		{"unknown experiment", []string{"fig99"}, 1},
 		{"two experiments", []string{"fig6", "fig7"}, 2},
 		{"bad flag", []string{"-bogus", "fig6"}, 2},
+		{"metrics-out without soak", []string{"-metrics-out", os.DevNull, "fig6"}, 2},
 	}
 	// Silence usage output during the table run.
 	devnull, err := os.Open(os.DevNull)
@@ -40,6 +44,51 @@ func TestRunTinyExperiments(t *testing.T) {
 	for _, exp := range []string{"joincost", "fig14"} {
 		if got := run([]string{"-scale", "0.02", "-points", "4", exp}); got != 0 {
 			t.Errorf("run(%s) = %d, want 0", exp, got)
+		}
+	}
+}
+
+// TestRunSoakMetricsOut drives a tiny instrumented soak through the CLI
+// path and checks the JSONL stream: valid JSON per line, strictly
+// increasing interval numbers, and a final registry-snapshot record.
+func TestRunSoakMetricsOut(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI smoke test")
+	}
+	out := filepath.Join(t.TempDir(), "metrics.jsonl")
+	if got := run([]string{"-soak", "-soak-intervals", "3", "-soak-members", "40", "-metrics-out", out}); got != 0 {
+		t.Fatalf("run(-soak -metrics-out) = %d, want 0", got)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(string(data), "\n"), "\n")
+	if len(lines) != 4 { // 3 interval records + the final metrics record
+		t.Fatalf("got %d JSONL lines, want 4:\n%s", len(lines), data)
+	}
+	last := 0
+	for i, line := range lines {
+		var ev struct {
+			Kind     string `json:"kind"`
+			Interval int    `json:"interval"`
+		}
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("line %d is not valid JSON: %v", i+1, err)
+		}
+		switch {
+		case i < len(lines)-1:
+			if ev.Kind != "interval" {
+				t.Errorf("line %d: kind = %q, want interval", i+1, ev.Kind)
+			}
+			if ev.Interval <= last {
+				t.Errorf("line %d: interval %d not strictly after %d", i+1, ev.Interval, last)
+			}
+			last = ev.Interval
+		default:
+			if ev.Kind != "metrics" {
+				t.Errorf("final line: kind = %q, want metrics", ev.Kind)
+			}
 		}
 	}
 }

@@ -38,6 +38,7 @@ import (
 	"tmesh/internal/failover"
 	"tmesh/internal/ident"
 	"tmesh/internal/keytree"
+	"tmesh/internal/obs"
 	"tmesh/internal/overlay"
 	"tmesh/internal/recovery"
 	"tmesh/internal/split"
@@ -99,6 +100,18 @@ type Config struct {
 	RekeyParallelism int
 
 	Topology vnet.GTITMConfig
+
+	// Obs is the optional telemetry registry: phase spans (inject,
+	// rekey, deliver, audit), per-auditor pass/fail counters and
+	// durations, and the ladder/keytree counters of the stages the soak
+	// drives. Nil (the default) disables all instrumentation; the report
+	// is byte-identical either way.
+	Obs *obs.Registry
+	// Sink, when non-nil, receives one structured JSONL record per
+	// audited interval. Records carry only deterministic fields (counts,
+	// virtual times, audit verdicts) — never wall-clock durations — so
+	// seed-identical runs emit byte-identical streams.
+	Sink *obs.Sink
 }
 
 // DefaultConfig returns a soak tuned for the acceptance bar: >= 20
@@ -297,7 +310,7 @@ func New(cfg Config) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	tree, err := keytree.New(cfg.Params, seedBytes(cfg.Seed), keytree.Opts{})
+	tree, err := keytree.New(cfg.Params, seedBytes(cfg.Seed), keytree.Opts{Obs: cfg.Obs})
 	if err != nil {
 		return nil, err
 	}
@@ -569,6 +582,7 @@ func drawTimes(rng *rand.Rand, n int, start, span time.Duration) []time.Duration
 }
 
 func (e *Engine) doJoin(now time.Duration, stats *IntervalStats) {
+	defer e.cfg.Obs.StartSpan("chaos_inject").End()
 	if len(e.freeHosts) == 0 {
 		return // host pool exhausted; skip silently, counts stay honest
 	}
@@ -590,6 +604,7 @@ func (e *Engine) doJoin(now time.Duration, stats *IntervalStats) {
 }
 
 func (e *Engine) doLeave(now time.Duration, stats *IntervalStats, fail func(error)) {
+	defer e.cfg.Obs.StartSpan("chaos_inject").End()
 	live := e.liveMembers()
 	if len(live) <= 2 {
 		return // keep a quorum so rekeying stays meaningful
@@ -613,6 +628,7 @@ func (e *Engine) doLeave(now time.Duration, stats *IntervalStats, fail func(erro
 }
 
 func (e *Engine) doCrash(now time.Duration, stats *IntervalStats, fail func(error)) {
+	defer e.cfg.Obs.StartSpan("chaos_inject").End()
 	victim, isLeader, ok := e.pickVictim()
 	if !ok {
 		return
@@ -701,7 +717,9 @@ func (e *Engine) doRekey(now time.Duration, stats *IntervalStats, fail func(erro
 	sort.Slice(joins, func(i, j int) bool { return joins[i].Compare(joins[j]) < 0 })
 	sort.Slice(leaves, func(i, j int) bool { return leaves[i].Compare(leaves[j]) < 0 })
 
+	rekeySpan := e.cfg.Obs.StartSpan("chaos_rekey")
 	msg, err := rekeyBatch(e.tree, joins, leaves, e.cfg.RekeyParallelism)
+	rekeySpan.End()
 	if err != nil {
 		fail(fmt.Errorf("chaos: key tree batch: %w", err))
 		return
@@ -727,6 +745,7 @@ func (e *Engine) doRekey(now time.Duration, stats *IntervalStats, fail func(erro
 			e.rekeyLive = append(e.rekeyLive, memberSnap{id: id, key: id.Key()})
 		}
 	}
+	deliverSpan := e.cfg.Obs.StartSpan("chaos_deliver")
 	lr, err := recovery.DistributeLadder(recovery.LadderConfig{
 		Dir:         e.dir,
 		Sim:         e.sim,
@@ -739,7 +758,9 @@ func (e *Engine) doRekey(now time.Duration, stats *IntervalStats, fail func(erro
 		RetryMax:    e.cfg.RetryMax,
 		RetryBudget: e.cfg.RetryBudget,
 		DropUnicast: e.dropUnicast,
+		Obs:         e.cfg.Obs,
 	}, msg)
+	deliverSpan.End()
 	if err != nil {
 		fail(fmt.Errorf("chaos: rekey distribution: %w", err))
 		return
@@ -794,19 +815,120 @@ func (e *Engine) reapOrphans(now time.Duration) int {
 // doAudit closes the interval: reap stragglers, then run every
 // registered auditor and record the verdicts.
 func (e *Engine) doAudit(now time.Duration, idx int, stats *IntervalStats) {
+	auditSpan := e.cfg.Obs.StartSpan("chaos_audit")
 	e.rep.OrphanEvicted += e.reapOrphans(now)
 	e.reapEvictions(func(error) {})
 	stats.Members = e.dir.Size()
 
+	verdicts := make([]auditVerdict, 0, len(e.auditors))
 	for _, a := range e.auditors {
-		if err := a.Check(e, idx, stats); err != nil {
+		sp := e.cfg.Obs.StartSpan("chaos_audit_" + a.Name)
+		err := a.Check(e, idx, stats)
+		sp.End()
+		v := auditVerdict{Name: a.Name, OK: err == nil}
+		if err != nil {
+			e.cfg.Obs.Counter("chaos_audit_fail_" + a.Name).Inc()
+			v.Violation = err.Error()
 			stats.Violations = append(stats.Violations,
 				fmt.Sprintf("%s: %v", a.Name, err))
+		} else {
+			e.cfg.Obs.Counter("chaos_audit_pass_" + a.Name).Inc()
 		}
+		verdicts = append(verdicts, v)
 	}
+	auditSpan.End()
+
+	// Emit the interval record while the interval's live state is still
+	// around; the fields are all deterministic (see intervalEvent).
+	e.emitInterval(stats, verdicts)
 
 	// Reset per-interval state the auditors consumed.
 	e.churnSinceAudit = make(map[string]ident.ID)
 	e.curData = nil
 	e.curLadder = nil
+}
+
+// auditVerdict is one auditor's outcome inside an interval event.
+type auditVerdict struct {
+	Name      string `json:"name"`
+	OK        bool   `json:"ok"`
+	Violation string `json:"violation,omitempty"`
+}
+
+// intervalEvent is the JSONL record of one audited interval. Every
+// field is derived from the deterministic simulation (counts, virtual
+// times, audit verdicts) — wall-clock durations stay in the registry,
+// so seed-identical soaks emit byte-identical streams.
+type intervalEvent struct {
+	Kind            string         `json:"kind"` // always "interval"
+	Interval        int            `json:"interval"`
+	Members         int            `json:"members"`
+	Joins           int            `json:"joins"`
+	Leaves          int            `json:"leaves"`
+	Crashes         int            `json:"crashes"`
+	LeaderKills     int            `json:"leader_kills"`
+	Burst           bool           `json:"burst,omitempty"`
+	PartitionDomain int            `json:"partition_domain"`
+	Spike           bool           `json:"spike,omitempty"`
+	RekeyCost       int            `json:"rekey_cost"`
+	DataDelivered   int            `json:"data_delivered"`
+	DataLost        int            `json:"data_lost"`
+	KeyByMulticast  int            `json:"key_by_multicast"`
+	KeyByUnicast    int            `json:"key_by_unicast"`
+	KeyByResync     int            `json:"key_by_resync"`
+	UnicastAttempts int            `json:"unicast_attempts"`
+	Retries         int            `json:"retries"`
+	DeadInFlight    int            `json:"dead_in_flight"`
+	MaxBackoffNS    int64          `json:"max_backoff_ns"`
+	LadderRung      string         `json:"ladder_rung"` // deepest rung reached
+	ForwardedEncs   int            `json:"forwarded_encryptions"`
+	Audits          []auditVerdict `json:"audits"`
+}
+
+// emitInterval writes one interval record to the configured sink. Call
+// it before the per-interval state resets; no-op when Sink is nil.
+func (e *Engine) emitInterval(stats *IntervalStats, verdicts []auditVerdict) {
+	if e.cfg.Sink == nil {
+		return
+	}
+	ev := intervalEvent{
+		Kind:            "interval",
+		Interval:        stats.Index,
+		Members:         stats.Members,
+		Joins:           stats.Joins,
+		Leaves:          stats.Leaves,
+		Crashes:         stats.Crashes,
+		LeaderKills:     stats.LeaderKills,
+		Burst:           stats.Burst,
+		PartitionDomain: stats.PartitionDomain,
+		Spike:           stats.Spike,
+		RekeyCost:       stats.RekeyCost,
+		DataDelivered:   stats.DataDelivered,
+		DataLost:        stats.DataLost,
+		KeyByMulticast:  stats.KeyByMulticast,
+		KeyByUnicast:    stats.KeyByUnicast,
+		KeyByResync:     stats.KeyByResync,
+		UnicastAttempts: stats.UnicastAttempts,
+		Retries:         stats.Retries,
+		MaxBackoffNS:    int64(stats.MaxBackoff),
+		LadderRung:      "none",
+		Audits:          verdicts,
+	}
+	switch {
+	case stats.KeyByResync > 0:
+		ev.LadderRung = "resync"
+	case stats.KeyByUnicast > 0:
+		ev.LadderRung = "unicast"
+	case stats.KeyByMulticast > 0:
+		ev.LadderRung = "multicast"
+	}
+	if lr := e.curLadder; lr != nil {
+		ev.DeadInFlight = len(lr.DeadInFlight)
+		if lr.Multicast != nil {
+			for _, st := range lr.Multicast.Users {
+				ev.ForwardedEncs += st.UnitsForwarded
+			}
+		}
+	}
+	e.cfg.Sink.Emit(ev)
 }

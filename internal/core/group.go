@@ -25,6 +25,7 @@ import (
 	"tmesh/internal/keycrypt"
 	"tmesh/internal/keytree"
 	"tmesh/internal/memberstate"
+	"tmesh/internal/obs"
 	"tmesh/internal/overlay"
 	"tmesh/internal/split"
 	"tmesh/internal/tmesh"
@@ -60,6 +61,12 @@ type Config struct {
 	// messages, reports, and resulting member state are byte-identical
 	// at any setting.
 	Parallelism int
+	// Obs is the optional telemetry registry: per-stage spans
+	// (mark/regen/deliver/apply) and pipeline counters land there. Nil
+	// (the default) disables all instrumentation at no cost. Telemetry
+	// never feeds into rekey messages, reports, or member state, so
+	// seed-identical runs are byte-identical with it on or off.
+	Obs *obs.Registry
 }
 
 // Group is one secure multicast group. Drive it from a single goroutine
@@ -124,7 +131,7 @@ func NewGroup(cfg Config) (*Group, error) {
 		members:  memberstate.NewStore(),
 	}
 	seed := []byte(fmt.Sprintf("group-seed-%d", cfg.Seed))
-	opts := keytree.Opts{RealCrypto: cfg.RealCrypto}
+	opts := keytree.Opts{RealCrypto: cfg.RealCrypto, Obs: cfg.Obs}
 	if cfg.ClusterRekeying {
 		g.clusters, err = cluster.New(cfg.Assign.Params, seed, opts)
 	} else {
@@ -200,7 +207,11 @@ func (g *Group) Parallelism() int {
 func (g *Group) ProcessInterval() (*keytree.Message, error) {
 	g.intervals++
 	if g.clusters != nil {
+		// Cluster mode runs mark+regen inside the manager; time the
+		// combined server-side stage as one regen span.
+		span := g.cfg.Obs.StartSpan("core_regen")
 		res, err := g.clusters.ProcessParallel(g.Parallelism())
+		span.End()
 		if err != nil {
 			return nil, err
 		}
@@ -213,11 +224,15 @@ func (g *Group) ProcessInterval() (*keytree.Message, error) {
 	}
 	joins, leaves := g.pendingJoins, g.pendingLeaves
 	g.pendingJoins, g.pendingLeaves = nil, nil
+	markSpan := g.cfg.Obs.StartSpan("core_mark")
 	plan, err := g.tree.Mark(joins, leaves)
+	markSpan.End()
 	if err != nil {
 		return nil, err
 	}
+	regenSpan := g.cfg.Obs.StartSpan("core_regen")
 	msg, err := g.tree.Regenerate(plan, g.Parallelism())
+	regenSpan.End()
 	if err != nil {
 		return nil, err
 	}
@@ -283,6 +298,7 @@ func (g *Group) DistributeRekey(msg *keytree.Message) (*split.Report, error) {
 	opts := split.Options{
 		Mode:        g.cfg.SplitMode,
 		Parallelism: g.Parallelism(),
+		Obs:         g.cfg.Obs,
 	}
 	if g.clusters != nil {
 		// Footnote 8: route rekey hops of the bottom row to the
@@ -297,13 +313,18 @@ func (g *Group) DistributeRekey(msg *keytree.Message) (*split.Report, error) {
 		// cheap; apply then fans out below.
 		opts.Collect = true
 	}
+	deliverSpan := g.cfg.Obs.StartSpan("core_deliver")
 	rep, err := split.Rekey(g.dir, msg, opts)
+	deliverSpan.End()
 	if err != nil {
 		return nil, err
 	}
 	if g.cfg.RealCrypto {
-		applier := &storeApplier{store: g.members, parallelism: g.Parallelism()}
-		if err := applier.Apply(msg.Interval, rep.Deliveries); err != nil {
+		applier := &storeApplier{store: g.members, parallelism: g.Parallelism(), obs: g.cfg.Obs}
+		applySpan := g.cfg.Obs.StartSpan("core_apply")
+		err := applier.Apply(msg.Interval, rep.Deliveries)
+		applySpan.End()
+		if err != nil {
 			return nil, err
 		}
 	}

@@ -26,6 +26,7 @@ import (
 	"tmesh/internal/ident"
 	"tmesh/internal/keytree"
 	"tmesh/internal/memberstate"
+	"tmesh/internal/obs"
 	"tmesh/internal/split"
 )
 
@@ -96,6 +97,9 @@ func (e *ApplyError) Unwrap() error {
 type storeApplier struct {
 	store       *memberstate.Store
 	parallelism int
+	// obs, when non-nil, counts applied users and skipped deliveries;
+	// workers update the hoisted counters lock-free.
+	obs *obs.Registry
 }
 
 // NewApplier returns the pipeline's apply stage over a member store,
@@ -129,13 +133,17 @@ func (a *storeApplier) Apply(interval uint64, deliveries []split.Delivery) error
 		workers = len(order)
 	}
 
+	appliedC := a.obs.Counter("core_apply_users")
+	skippedC := a.obs.Counter("core_apply_skipped_users")
 	errs := make([]error, len(order))
 	applyUser := func(i int) {
 		id := order[i]
 		kr := a.store.Keyring(id)
 		if kr == nil {
+			skippedC.Inc()
 			return
 		}
+		appliedC.Inc()
 		for _, d := range byUser[id.Key()] {
 			sub := &keytree.Message{Interval: interval, Encryptions: d.Encryptions}
 			if _, err := kr.Apply(sub); err != nil {

@@ -61,6 +61,12 @@ func workersFor(requested, units int) int {
 // scheduling. progress, when non-nil, is called once per completed unit
 // (serialised, but not in unit order when workers > 1).
 //
+// Wall-clock discipline: the elapsed times handed to progress are the
+// ONLY wall-clock reads in the runners, they exist solely for stderr
+// reporting, and the clock is not read at all when progress is nil.
+// Unit results must never include them — experiment outputs are
+// byte-compared across runs (see TestRunnersIgnoreWallClock).
+//
 // All units are attempted even if one fails; the returned error is that
 // of the lowest-numbered failing unit, matching what a sequential loop
 // would report.
@@ -73,7 +79,10 @@ func forEachUnit(n, workers int, progress Progress, fn func(unit int) error) err
 	}
 	if workers <= 1 {
 		for unit := 0; unit < n; unit++ {
-			start := time.Now()
+			var start time.Time
+			if progress != nil {
+				start = time.Now()
+			}
 			if err := fn(unit); err != nil {
 				return err
 			}
@@ -98,7 +107,10 @@ func forEachUnit(n, workers int, progress Progress, fn func(unit int) error) err
 				if unit >= n {
 					return
 				}
-				start := time.Now()
+				var start time.Time
+				if progress != nil {
+					start = time.Now()
+				}
 				errs[unit] = fn(unit)
 				if errs[unit] == nil && progress != nil {
 					elapsed := time.Since(start)

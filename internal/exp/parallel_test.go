@@ -115,6 +115,42 @@ func TestRunLatencyParallelDeterminism(t *testing.T) {
 	}
 }
 
+// TestRunnersIgnoreWallClock pins the progress-callback contract: the
+// elapsed wall-clock times forEachUnit hands to Progress are reporting
+// only, so attaching a callback must not change a single result field —
+// the runners' outputs are byte-compared across runs and machines.
+func TestRunnersIgnoreWallClock(t *testing.T) {
+	cfg := LatencyConfig{Topology: PlanetLab, Joins: 32, Runs: 4, Points: 8, Assign: smallAssign(), Seed: 9}
+	for _, workers := range []int{1, 8} {
+		plain := cfg
+		plain.Parallel = workers
+		want, err := RunLatency(plain)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		calls := 0
+		probed := cfg
+		probed.Parallel = workers
+		probed.Progress = func(unit int, elapsed time.Duration) {
+			calls++
+			if elapsed < 0 {
+				t.Errorf("unit %d: negative elapsed %v", unit, elapsed)
+			}
+		}
+		got, err := RunLatency(probed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if calls == 0 {
+			t.Fatalf("workers=%d: progress callback never fired", workers)
+		}
+		if !reflect.DeepEqual(want.Series, got.Series) {
+			t.Errorf("workers=%d: progress callback changed the results", workers)
+		}
+	}
+}
+
 func TestRunRekeyCostParallelDeterminism(t *testing.T) {
 	cfg := RekeyCostConfig{
 		N:       32,

@@ -26,9 +26,11 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"tmesh/internal/ident"
 	"tmesh/internal/keycrypt"
+	"tmesh/internal/obs"
 )
 
 // Opts configures a Tree.
@@ -38,6 +40,11 @@ type Opts struct {
 	// (and much faster) for the rekey-cost and bandwidth experiments
 	// that only count encryptions.
 	RealCrypto bool
+	// Obs is the optional telemetry registry. When set, Regenerate
+	// times each level-1 subtree work unit of its fan-out; durations
+	// land only in the registry, never in the rekey message, so output
+	// stays byte-identical with telemetry on or off.
+	Obs *obs.Registry
 }
 
 type node struct {
@@ -339,6 +346,22 @@ func (t *Tree) Regenerate(plan *BatchPlan, parallelism int) (*Message, error) {
 		groups[g] = append(groups[g], i)
 	}
 
+	// Fan-out telemetry: one duration sample per level-1 subtree work
+	// unit per phase. The instruments are hoisted here (nil on a nil
+	// registry, making every update below a no-op without clock reads).
+	subtreeHist := t.opts.Obs.Histogram("keytree_regen_subtree_ns", obs.LatencyBuckets)
+	subtreeCount := t.opts.Obs.Counter("keytree_regen_subtrees")
+	runUnit := func(fn func(indices []int) error, indices []int) error {
+		if subtreeHist == nil {
+			return fn(indices)
+		}
+		start := time.Now()
+		err := fn(indices)
+		subtreeHist.Observe(int64(time.Since(start)))
+		subtreeCount.Inc()
+		return err
+	}
+
 	runGroups := func(fn func(indices []int) error) error {
 		workers := parallelism
 		if workers > len(groupOrder) {
@@ -346,7 +369,7 @@ func (t *Tree) Regenerate(plan *BatchPlan, parallelism int) (*Message, error) {
 		}
 		if workers <= 1 {
 			for _, g := range groupOrder {
-				if err := fn(groups[g]); err != nil {
+				if err := runUnit(fn, groups[g]); err != nil {
 					return err
 				}
 			}
@@ -364,7 +387,7 @@ func (t *Tree) Regenerate(plan *BatchPlan, parallelism int) (*Message, error) {
 					if i >= len(groupOrder) {
 						return
 					}
-					errs[i] = fn(groups[groupOrder[i]])
+					errs[i] = runUnit(fn, groups[groupOrder[i]])
 				}
 			}()
 		}

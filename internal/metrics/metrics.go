@@ -54,10 +54,17 @@ func (d *Distribution) Max() float64 {
 	return d.samples[len(d.samples)-1]
 }
 
-// Percentile returns the p-th percentile (nearest-rank), p in (0, 100].
+// Percentile returns the p-th percentile (nearest-rank). The domain is
+// (0, 100]: p outside it, or NaN, returns NaN rather than silently
+// clamping to the minimum or maximum sample — the old behavior, which
+// turned a caller's unit mistake (Percentile(0.95) for the 95th) into a
+// plausible-looking extreme value. An empty distribution returns 0.
 func (d *Distribution) Percentile(p float64) float64 {
 	if len(d.samples) == 0 {
 		return 0
+	}
+	if math.IsNaN(p) || p <= 0 || p > 100 {
+		return math.NaN()
 	}
 	rank := int(math.Ceil(p / 100 * float64(len(d.samples))))
 	if rank < 1 {
@@ -99,6 +106,13 @@ type InverseCDFPoint struct {
 // then rank r across runs is averaged and its 5/95-percentiles taken. It
 // returns points for numPoints evenly spaced fractions in (0, 1]. All
 // runs must have the same sample count.
+//
+// numPoints is normalized to the sample count n when it is out of range:
+// values < 1 (callers may pass 0 to mean "every rank") and values > n
+// (more points than distinct ranks exist) both yield exactly n points,
+// one per rank. This is deliberate — it keeps curve resolution capped at
+// the data's own resolution instead of duplicating ranks — and tests pin
+// it.
 func RankAggregate(runs []*Distribution, numPoints int) ([]InverseCDFPoint, error) {
 	if len(runs) == 0 {
 		return nil, fmt.Errorf("metrics: no runs to aggregate")

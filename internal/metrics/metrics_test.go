@@ -63,6 +63,28 @@ func sortedAscending(xs []float64) bool {
 	return true
 }
 
+// TestPercentileDomain pins the documented (0, 100] domain: out-of-range
+// and NaN arguments return NaN instead of clamping to an extreme sample,
+// which hid fraction-vs-percent unit mistakes.
+func TestPercentileDomain(t *testing.T) {
+	d := NewDistribution([]float64{1, 2, 3, 4, 5})
+	for _, p := range []float64{0, -1, 100.001, 200, math.NaN()} {
+		if got := d.Percentile(p); !math.IsNaN(got) {
+			t.Errorf("Percentile(%v) = %v, want NaN", p, got)
+		}
+	}
+	if got := d.Percentile(100); got != 5 {
+		t.Errorf("Percentile(100) = %v, want 5", got)
+	}
+	if got := d.Percentile(0.001); got != 1 {
+		t.Errorf("Percentile(0.001) = %v, want 1 (smallest sample)", got)
+	}
+	// The empty-distribution zero takes precedence over domain checks.
+	if got := NewDistribution(nil).Percentile(0); got != 0 {
+		t.Errorf("empty Percentile(0) = %v, want 0", got)
+	}
+}
+
 func TestEmptyDistribution(t *testing.T) {
 	d := NewDistribution(nil)
 	if d.Mean() != 0 || d.Max() != 0 || d.Percentile(50) != 0 || d.FractionAtMost(1) != 0 {
@@ -127,6 +149,30 @@ func TestRankAggregateValidation(t *testing.T) {
 	}
 	if _, err := RankAggregate([]*Distribution{NewDistribution(nil)}, 2); err == nil {
 		t.Error("empty runs should fail")
+	}
+}
+
+// TestRankAggregateNumPointsNormalization pins the documented rule:
+// numPoints < 1 or > n yields exactly one point per rank.
+func TestRankAggregateNumPointsNormalization(t *testing.T) {
+	runs := []*Distribution{NewDistribution([]float64{1, 2, 3, 4})}
+	for _, numPoints := range []int{0, -3, 5, 1000} {
+		points, err := RankAggregate(runs, numPoints)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(points) != 4 {
+			t.Errorf("numPoints=%d: got %d points, want 4 (one per rank)", numPoints, len(points))
+			continue
+		}
+		for i, p := range points {
+			if want := float64(i+1) / 4; p.Fraction != want {
+				t.Errorf("numPoints=%d point %d: fraction %v, want %v", numPoints, i, p.Fraction, want)
+			}
+			if p.Mean != float64(i+1) {
+				t.Errorf("numPoints=%d point %d: mean %v, want %v", numPoints, i, p.Mean, float64(i+1))
+			}
+		}
 	}
 }
 

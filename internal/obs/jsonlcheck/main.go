@@ -1,0 +1,73 @@
+// Command jsonlcheck sanity-checks a telemetry JSONL file produced by
+// `rekeysim -soak -metrics-out`: every line must be valid JSON, and
+// records of kind "interval" must carry strictly increasing interval
+// numbers. Exit status 0 on a clean file, 1 on any violation.
+//
+// Usage: jsonlcheck <file.jsonl>
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	if len(args) != 1 {
+		fmt.Fprintln(os.Stderr, "usage: jsonlcheck <file.jsonl>")
+		return 2
+	}
+	f, err := os.Open(args[0])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "jsonlcheck:", err)
+		return 2
+	}
+	defer f.Close()
+
+	var (
+		lines, intervals int
+		lastInterval     = 0
+		bad              int
+	)
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	for sc.Scan() {
+		lines++
+		var rec struct {
+			Kind     string `json:"kind"`
+			Interval int    `json:"interval"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			fmt.Fprintf(os.Stderr, "jsonlcheck: line %d: invalid JSON: %v\n", lines, err)
+			bad++
+			continue
+		}
+		if rec.Kind == "interval" {
+			intervals++
+			if rec.Interval <= lastInterval {
+				fmt.Fprintf(os.Stderr, "jsonlcheck: line %d: interval %d not greater than previous %d\n",
+					lines, rec.Interval, lastInterval)
+				bad++
+			}
+			lastInterval = rec.Interval
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "jsonlcheck:", err)
+		return 2
+	}
+	if intervals == 0 {
+		fmt.Fprintln(os.Stderr, "jsonlcheck: no interval records found")
+		bad++
+	}
+	if bad > 0 {
+		return 1
+	}
+	fmt.Printf("jsonlcheck: %s ok (%d lines, %d interval records)\n", args[0], lines, intervals)
+	return 0
+}

@@ -1,0 +1,63 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// Sink is a structured JSONL event sink: each Emit marshals one record
+// and writes it as a single line. Writes are serialised, so records from
+// concurrent emitters never interleave. A nil *Sink discards everything,
+// which is the off-by-default contract instrumented code relies on.
+//
+// The sink is for interval-level records whose fields are themselves
+// deterministic (churn counts, rekey message sizes, audit verdicts, ...);
+// wall-clock material belongs in a Registry, surfaced at most as one
+// final Snapshot record, so byte-comparing the event records of two
+// seed-identical runs still works.
+type Sink struct {
+	mu  sync.Mutex
+	w   io.Writer
+	err error
+}
+
+// NewSink wraps a writer. The caller owns the writer's lifecycle
+// (closing files, flushing buffers).
+func NewSink(w io.Writer) *Sink {
+	return &Sink{w: w}
+}
+
+// Emit writes one record as a JSON line. After the first write or
+// marshal error the sink goes inert and keeps the error for Err.
+// Safe on a nil receiver.
+func (s *Sink) Emit(v any) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return
+	}
+	b, err := json.Marshal(v)
+	if err != nil {
+		s.err = err
+		return
+	}
+	b = append(b, '\n')
+	if _, err := s.w.Write(b); err != nil {
+		s.err = err
+	}
+}
+
+// Err returns the first error the sink hit, or nil. Safe on a nil
+// receiver.
+func (s *Sink) Err() error {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}

@@ -23,6 +23,7 @@ import (
 	"tmesh/internal/ident"
 	"tmesh/internal/keycrypt"
 	"tmesh/internal/keytree"
+	"tmesh/internal/obs"
 	"tmesh/internal/overlay"
 	"tmesh/internal/split"
 	"tmesh/internal/tmesh"
@@ -61,6 +62,10 @@ type LadderConfig struct {
 	// OnKey observes every successful key delivery with the rung that
 	// achieved it and the virtual completion time.
 	OnKey func(user ident.ID, rung Rung, at time.Duration)
+	// Obs is the optional telemetry registry: per-rung delivery
+	// counters, retry counts, and dead-in-flight drops land there. The
+	// counts are deterministic; nothing flows back into the result.
+	Obs *obs.Registry
 }
 
 // Rung identifies which step of the ladder delivered the key.
@@ -102,6 +107,11 @@ type LadderResult struct {
 	Recovered []ident.ID
 	// Resynced lists users that fell through to rung 3, in ID order.
 	Resynced []ident.ID
+	// DeadInFlight lists users whose directory record disappeared while
+	// a recovery chain was in flight (a ladder hop racing a crash or
+	// leave), in ID order. Their chains stop cleanly instead of
+	// unicasting to a stale or zero host.
+	DeadInFlight []ident.ID
 	// UnicastAttempts counts recovery unicast exchanges, lost or not.
 	UnicastAttempts int
 	// Retries counts attempts beyond each user's first (each one was
@@ -118,6 +128,7 @@ type LadderResult struct {
 func (r *LadderResult) Finish() {
 	sort.Slice(r.Recovered, func(i, j int) bool { return r.Recovered[i].Compare(r.Recovered[j]) < 0 })
 	sort.Slice(r.Resynced, func(i, j int) bool { return r.Resynced[i].Compare(r.Resynced[j]) < 0 })
+	sort.Slice(r.DeadInFlight, func(i, j int) bool { return r.DeadInFlight[i].Compare(r.DeadInFlight[j]) < 0 })
 }
 
 // DistributeLadder schedules one rekey distribution over the ladder on
@@ -142,9 +153,18 @@ func DistributeLadder(cfg LadderConfig, msg *keytree.Message) (*LadderResult, er
 		RungOf:      make(map[string]Rung),
 		DeliveredAt: make(map[string]time.Duration),
 	}
+	rungC := [...]*obs.Counter{
+		ByMulticast: cfg.Obs.Counter("recovery_rung_multicast"),
+		ByUnicast:   cfg.Obs.Counter("recovery_rung_unicast"),
+		ByResync:    cfg.Obs.Counter("recovery_rung_resync"),
+	}
+	attemptsC := cfg.Obs.Counter("recovery_unicast_attempts")
+	retriesC := cfg.Obs.Counter("recovery_retries")
+	deadC := cfg.Obs.Counter("recovery_dead_in_flight")
 	deliver := func(id ident.ID, rung Rung, at time.Duration) {
 		out.RungOf[id.Key()] = rung
 		out.DeliveredAt[id.Key()] = at
+		rungC[rung].Inc()
 		if cfg.OnKey != nil {
 			cfg.OnKey(id, rung, at)
 		}
@@ -182,15 +202,26 @@ func DistributeLadder(cfg LadderConfig, msg *keytree.Message) (*LadderResult, er
 
 	// Per-user recovery chain, attempt numbers 1-based. Each attempt is
 	// a request/response exchange; a drop of either leg loses it whole.
-	var attempt func(id ident.ID, host vnet.HostID, needed int, n int, at time.Duration)
-	attempt = func(id ident.ID, host vnet.HostID, needed int, n int, at time.Duration) {
+	// The host lookup is re-done per attempt: a record that vanished
+	// mid-chain (hop racing a crash or leave) drops the user to
+	// DeadInFlight instead of unicasting to a stale host.
+	var attempt func(id ident.ID, needed int, n int, at time.Duration)
+	attempt = func(id ident.ID, needed int, n int, at time.Duration) {
 		cfg.Sim.At(at, func(now time.Duration) {
 			if !alive(id) {
 				return // crashed while waiting: no longer a surviving member
 			}
+			host, ok := hostOf(cfg.Dir, id)
+			if !ok {
+				out.DeadInFlight = append(out.DeadInFlight, id)
+				deadC.Inc()
+				return
+			}
 			out.UnicastAttempts++
+			attemptsC.Inc()
 			if n > 1 {
 				out.Retries++
+				retriesC.Inc()
 			}
 			rtt := net.OneWay(host, server) + net.OneWay(server, host)
 			if cfg.DropUnicast != nil && cfg.DropUnicast(id, n) {
@@ -210,7 +241,7 @@ func DistributeLadder(cfg LadderConfig, msg *keytree.Message) (*LadderResult, er
 				if wait > out.MaxBackoff {
 					out.MaxBackoff = wait
 				}
-				attempt(id, host, needed, n+1, now+wait)
+				attempt(id, needed, n+1, now+wait)
 				return
 			}
 			out.ServerUnits += needed
@@ -240,7 +271,7 @@ func DistributeLadder(cfg LadderConfig, msg *keytree.Message) (*LadderResult, er
 				continue
 			}
 			out.Recovered = append(out.Recovered, id)
-			attempt(id, mustHost(cfg.Dir, id), len(needed), 1, now)
+			attempt(id, len(needed), 1, now)
 		}
 	})
 	return out, nil
@@ -254,7 +285,15 @@ func NeededBy(msg *keytree.Message, u ident.ID) []keycrypt.Encryption {
 	return neededBy(msg, u)
 }
 
-func mustHost(dir *overlay.Directory, id ident.ID) vnet.HostID {
-	rec, _ := dir.Record(id)
-	return rec.Host
+// hostOf looks up the current host of a user, reporting whether the
+// directory still has a record for it. The old mustHost variant ignored
+// the miss and returned the zero HostID — which is the server's own
+// host, so a ladder hop racing a crash would silently unicast the key
+// to the server and count it delivered.
+func hostOf(dir *overlay.Directory, id ident.ID) (vnet.HostID, bool) {
+	rec, ok := dir.Record(id)
+	if !ok {
+		return 0, false
+	}
+	return rec.Host, true
 }

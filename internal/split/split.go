@@ -24,6 +24,7 @@ import (
 	"tmesh/internal/ident"
 	"tmesh/internal/keycrypt"
 	"tmesh/internal/keytree"
+	"tmesh/internal/obs"
 	"tmesh/internal/overlay"
 	"tmesh/internal/tmesh"
 	"tmesh/internal/vnet"
@@ -137,6 +138,12 @@ type Options struct {
 	// function of (message, subtree), so the transported bytes are
 	// identical at any parallelism.
 	Parallelism int
+	// Obs is the optional telemetry registry. When set, the transport
+	// counts split hops, the encryptions each hop forwards (the paper's
+	// Fig. 7 "encryption stress" as a live metric), and per-user
+	// deliveries. The counts are themselves deterministic, and nothing
+	// from the registry feeds back into the report.
+	Obs *obs.Registry
 }
 
 // Delivery records one user's receipt of rekey encryptions.
@@ -200,6 +207,24 @@ func Rekey(dir *overlay.Directory, msg *keytree.Message, opts Options) (*Report,
 			}
 		}
 	}
+	// Telemetry counters, hoisted once; nil on a nil registry so every
+	// update below is a no-op. Delivery counts ride the observe chain,
+	// hop counts wrap the SplitHop filters below.
+	var hopsC, hopEncsC *obs.Counter
+	if opts.Obs != nil {
+		hopsC = opts.Obs.Counter("split_hops")
+		hopEncsC = opts.Obs.Counter("split_hop_forwarded_encryptions")
+		deliveriesC := opts.Obs.Counter("split_deliveries")
+		deliveredC := opts.Obs.Counter("split_delivered_encryptions")
+		inner := observe
+		observe = func(to ident.ID, encs []keycrypt.Encryption, level int) {
+			deliveriesC.Inc()
+			deliveredC.Add(int64(len(encs)))
+			if inner != nil {
+				inner(to, encs, level)
+			}
+		}
+	}
 
 	var res *tmesh.Result
 	var err error
@@ -217,6 +242,15 @@ func Rekey(dir *overlay.Directory, msg *keytree.Message, opts Options) (*Report,
 			if opts.Parallelism > 1 {
 				cfg.SplitHop = prefilteredSplit(dir, msg.Encryptions, opts.Parallelism)
 			}
+			if hopsC != nil {
+				inner := cfg.SplitHop
+				cfg.SplitHop = func(encs []keycrypt.Encryption, subtree ident.Prefix) []keycrypt.Encryption {
+					out := inner(encs, subtree)
+					hopsC.Inc()
+					hopEncsC.Add(int64(len(out)))
+					return out
+				}
+			}
 		}
 		if observe != nil {
 			cfg.OnDeliver = observe
@@ -227,12 +261,23 @@ func Rekey(dir *overlay.Directory, msg *keytree.Message, opts Options) (*Report,
 		if size == 0 {
 			size = 25
 		}
+		splitHop := FilterPackets
+		if hopsC != nil {
+			splitHop = func(pkts []Packet, subtree ident.Prefix) []Packet {
+				out := FilterPackets(pkts, subtree)
+				hopsC.Inc()
+				for _, p := range out {
+					hopEncsC.Add(int64(len(p)))
+				}
+				return out
+			}
+		}
 		cfg := tmesh.Config[[]Packet]{
 			Dir:                dir,
 			SenderIsServer:     true,
 			Alive:              opts.Alive,
 			EarliestPrimaryRow: opts.EarliestPrimaryRow,
-			SplitHop:           FilterPackets,
+			SplitHop:           splitHop,
 			SizeOf: func(pkts []Packet) int {
 				n := 0
 				for _, p := range pkts {
