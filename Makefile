@@ -1,14 +1,15 @@
 GO ?= go
 FUZZTIME ?= 5s
 
-.PHONY: ci build vet test race bench bench-rekey soak-short soak-metrics fuzz
+.PHONY: ci build vet test race bench bench-rekey soak-short soak-metrics trace-audit fuzz
 
 # ci is the full verification gate: static checks, the race detector
 # over the whole tree (the parallel experiment harness in internal/exp
 # and the SPT cache in internal/vnet have concurrency tests that only
-# bite under -race; the chaos soak acceptance tests run here too), and
-# a short fuzz pass over the wire decoders.
-ci: vet race fuzz
+# bite under -race; the chaos soak acceptance tests run here too), a
+# short fuzz pass over the wire decoders, and the flight-recorder
+# theorem audit over a freshly traced soak.
+ci: vet race fuzz trace-audit
 
 build:
 	$(GO) build ./...
@@ -35,6 +36,16 @@ soak-metrics:
 	mkdir -p results
 	$(GO) run ./cmd/rekeysim -soak -soak-intervals 6 -soak-members 100 -metrics-out results/soak-metrics.jsonl
 	$(GO) run ./internal/obs/jsonlcheck results/soak-metrics.jsonl
+
+# trace-audit runs a short soak with the flight recorder sampling every
+# second interval, schema-checks the trace stream, and machine-checks
+# the paper's path theorems (exactly-one-copy, forward-iff-needed,
+# level monotonicity, ladder coverage) against the recorded hops.
+trace-audit:
+	mkdir -p results
+	$(GO) run ./cmd/rekeysim -soak -soak-intervals 6 -soak-members 100 -trace-out results/soak-trace.jsonl -trace-sample 2
+	$(GO) run ./internal/obs/jsonlcheck results/soak-trace.jsonl
+	$(GO) run ./cmd/traceaudit results/soak-trace.jsonl
 
 # fuzz gives each wire decoder a short budget on top of the committed
 # seed corpus (internal/wire/testdata/fuzz, regenerated with

@@ -62,12 +62,14 @@ func run(args []string) int {
 		soakLoss      = fs.Float64("soak-loss", -1, "override the soak's per-hop loss probability")
 		soakRekeyPar  = fs.Int("soak-rekey-parallelism", 0, "override the soak's key-regeneration worker fan-out; 1 = sequential (rekey messages are byte-identical either way)")
 
-		metricsOut = fs.String("metrics-out", "", "write soak telemetry to this JSONL file: one deterministic record per audited interval plus a final registry snapshot (requires -soak)")
-		pprofAddr  = fs.String("pprof", "", "serve net/http/pprof and expvar (including the live telemetry registry) on this address, e.g. localhost:6060")
+		metricsOut  = fs.String("metrics-out", "", "write soak telemetry to this JSONL file: one deterministic record per audited interval plus a final registry snapshot (requires -soak)")
+		traceOut    = fs.String("trace-out", "", "write the soak's flight-recorder trace to this JSONL file: causally-linked per-hop records of sampled intervals' multicasts (requires -soak)")
+		traceSample = fs.Int("trace-sample", 1, "trace every k-th interval (with -trace-out); 1 traces all")
+		pprofAddr   = fs.String("pprof", "", "serve net/http/pprof and expvar (including the live telemetry registry) on this address, e.g. localhost:6060")
 	)
 	fs.Usage = func() {
 		fmt.Fprintf(fs.Output(), "usage: rekeysim [flags] <fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14|joincost|ablation|packets|loss|gnp|congestion|all>\n")
-		fmt.Fprintf(fs.Output(), "       rekeysim -soak [-seed N] [-soak-intervals N] [-soak-members N] [-soak-loss P] [-soak-rekey-parallelism N] [-metrics-out FILE] [-pprof ADDR]\n")
+		fmt.Fprintf(fs.Output(), "       rekeysim -soak [-seed N] [-soak-intervals N] [-soak-members N] [-soak-loss P] [-soak-rekey-parallelism N] [-metrics-out FILE] [-trace-out FILE] [-trace-sample K] [-pprof ADDR]\n")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -75,6 +77,11 @@ func run(args []string) int {
 	}
 	if *metricsOut != "" && !*soak {
 		fmt.Fprintln(os.Stderr, "rekeysim: -metrics-out requires -soak (experiments are not telemetry-wired)")
+		fs.Usage()
+		return 2
+	}
+	if *traceOut != "" && !*soak {
+		fmt.Fprintln(os.Stderr, "rekeysim: -trace-out requires -soak (experiments are not trace-wired)")
 		fs.Usage()
 		return 2
 	}
@@ -89,7 +96,7 @@ func run(args []string) int {
 			fs.Usage()
 			return 2
 		}
-		return runSoak(*seed, *soakIntervals, *soakMembers, *soakLoss, *soakRekeyPar, *metricsOut, *pprofAddr != "")
+		return runSoak(*seed, *soakIntervals, *soakMembers, *soakLoss, *soakRekeyPar, *metricsOut, *traceOut, *traceSample, *pprofAddr != "")
 	}
 	if fs.NArg() != 1 {
 		fs.Usage()
@@ -145,7 +152,7 @@ type metricsEvent struct {
 // can gate CI directly. With metricsOut the soak runs instrumented and
 // streams interval records (plus a final registry snapshot) to the
 // file; the report itself is byte-identical either way.
-func runSoak(seed int64, intervals, members int, loss float64, rekeyParallelism int, metricsOut string, withObs bool) int {
+func runSoak(seed int64, intervals, members int, loss float64, rekeyParallelism int, metricsOut, traceOut string, traceSample int, withObs bool) int {
 	cfg := chaos.DefaultConfig(seed)
 	if intervals > 0 {
 		cfg.Intervals = intervals
@@ -176,6 +183,19 @@ func runSoak(seed int64, intervals, members int, loss float64, rekeyParallelism 
 		sink = obs.NewSink(f)
 		cfg.Sink = sink
 	}
+	var traceSink *obs.Sink
+	var traceFile *os.File
+	if traceOut != "" {
+		f, err := os.Create(traceOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rekeysim:", err)
+			return 2
+		}
+		traceFile = f
+		traceSink = obs.NewSink(f)
+		cfg.TraceSink = traceSink
+		cfg.TraceSample = traceSample
+	}
 
 	e, err := chaos.New(cfg)
 	if err != nil {
@@ -201,6 +221,16 @@ func runSoak(seed int64, intervals, members int, loss float64, rekeyParallelism 
 		}
 		if err := metricsFile.Close(); err != nil {
 			fmt.Fprintln(os.Stderr, "rekeysim: metrics file:", err)
+			code = 1
+		}
+	}
+	if traceFile != nil {
+		if err := traceSink.Err(); err != nil {
+			fmt.Fprintln(os.Stderr, "rekeysim: trace sink:", err)
+			code = 1
+		}
+		if err := traceFile.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "rekeysim: trace file:", err)
 			code = 1
 		}
 	}

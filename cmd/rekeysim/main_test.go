@@ -6,6 +6,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"tmesh/internal/obs/trace"
 )
 
 func TestRunArgHandling(t *testing.T) {
@@ -19,6 +21,7 @@ func TestRunArgHandling(t *testing.T) {
 		{"two experiments", []string{"fig6", "fig7"}, 2},
 		{"bad flag", []string{"-bogus", "fig6"}, 2},
 		{"metrics-out without soak", []string{"-metrics-out", os.DevNull, "fig6"}, 2},
+		{"trace-out without soak", []string{"-trace-out", os.DevNull, "fig6"}, 2},
 	}
 	// Silence usage output during the table run.
 	devnull, err := os.Open(os.DevNull)
@@ -90,6 +93,60 @@ func TestRunSoakMetricsOut(t *testing.T) {
 				t.Errorf("final line: kind = %q, want metrics", ev.Kind)
 			}
 		}
+	}
+}
+
+// TestRunSoakTraceOut drives a tiny soak with the flight recorder on
+// and audits the resulting trace file end to end.
+func TestRunSoakTraceOut(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI smoke test")
+	}
+	out := filepath.Join(t.TempDir(), "trace.jsonl")
+	if got := run([]string{"-soak", "-soak-intervals", "3", "-soak-members", "40", "-trace-out", out}); got != 0 {
+		t.Fatalf("run(-soak -trace-out) = %d, want 0", got)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	records, err := trace.ParseRecords(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	audits, err := trace.AuditRecords(records)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(audits) != 6 { // a data and a rekey trace per interval
+		t.Fatalf("trace file holds %d traces, want 6", len(audits))
+	}
+	for _, a := range audits {
+		if !a.OK() {
+			t.Errorf("trace %s: %d audit violations", a.ID, a.TotalViolations())
+		}
+	}
+}
+
+// TestRunSoakSinkWriteErrorExit: a soak whose telemetry or trace file
+// cannot be written must exit non-zero, not silently drop the stream.
+// /dev/full fails every write with ENOSPC.
+func TestRunSoakSinkWriteErrorExit(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI smoke test")
+	}
+	if f, err := os.OpenFile("/dev/full", os.O_WRONLY, 0); err != nil {
+		t.Skipf("/dev/full unavailable: %v", err)
+	} else {
+		f.Close()
+	}
+	base := []string{"-soak", "-soak-intervals", "2", "-soak-members", "40"}
+	if got := run(append(base, "-metrics-out", "/dev/full")); got != 1 {
+		t.Errorf("run(-metrics-out /dev/full) = %d, want 1", got)
+	}
+	if got := run(append(base, "-trace-out", "/dev/full")); got != 1 {
+		t.Errorf("run(-trace-out /dev/full) = %d, want 1", got)
 	}
 }
 

@@ -39,6 +39,7 @@ import (
 	"tmesh/internal/ident"
 	"tmesh/internal/keytree"
 	"tmesh/internal/obs"
+	"tmesh/internal/obs/trace"
 	"tmesh/internal/overlay"
 	"tmesh/internal/recovery"
 	"tmesh/internal/split"
@@ -112,6 +113,16 @@ type Config struct {
 	// virtual times, audit verdicts) — never wall-clock durations — so
 	// seed-identical runs emit byte-identical streams.
 	Sink *obs.Sink
+
+	// TraceSink, when non-nil, arms the flight recorder: sampled
+	// intervals trace their data probe and rekey ladder hop by hop into
+	// this JSONL sink (see internal/obs/trace). Like Sink, records are
+	// fully deterministic, and the soak report is byte-identical with
+	// tracing on or off.
+	TraceSink *obs.Sink
+	// TraceSample traces every k-th interval (<= 1 traces all). Only
+	// meaningful with TraceSink set.
+	TraceSample int
 }
 
 // DefaultConfig returns a soak tuned for the acceptance bar: >= 20
@@ -140,6 +151,10 @@ func DefaultConfig(seed int64) Config {
 		RetryBase:      200 * time.Millisecond,
 		RetryMax:       time.Second,
 		RetryBudget:    3,
+		// The paper's splitting scheme is the thing under test: run the
+		// ladder's multicast rung with per-encryption splitting so the
+		// Theorem 2 trace audit has real split decisions to check.
+		Mode:           split.PerEncryption,
 		FullSweepEvery: 5,
 		// Exercise the parallel regeneration path by default so the
 		// race-enabled soak drives it; determinism auditors confirm the
@@ -285,6 +300,12 @@ type Engine struct {
 	rekeyLive   []memberSnap // alive members at rekey send
 	lastEpoch   map[string]uint64
 
+	// Flight recorder (nil when Config.TraceSink is nil) and the open
+	// traces of the current sampled interval.
+	trec          *trace.Recorder
+	curDataTrace  *trace.Trace
+	curRekeyTrace *trace.Trace
+
 	auditors []Auditor
 	rep      *Report
 }
@@ -341,6 +362,9 @@ func New(cfg Config) (*Engine, error) {
 		churnSinceAudit: make(map[string]ident.ID),
 		lastEpoch:       make(map[string]uint64),
 		rep:             &Report{Seed: cfg.Seed},
+	}
+	if cfg.TraceSink != nil {
+		e.trec = trace.NewRecorder(cfg.Seed, cfg.TraceSink)
 	}
 	e.auditors = defaultAuditors()
 	for _, a := range e.auditors {
@@ -444,6 +468,20 @@ func (e *Engine) dropUnicast(u ident.ID, attempt int) bool {
 // fires, but excluding it keeps victim picks and snapshots stable).
 func (e *Engine) alive(id ident.ID) bool {
 	return e.mon.Alive(id) && !e.killed[id.Key()]
+}
+
+// traceInterval reports whether the flight recorder samples the given
+// 1-based interval (every TraceSample-th interval, starting at the
+// first).
+func (e *Engine) traceInterval(index int) bool {
+	if e.trec == nil {
+		return false
+	}
+	k := e.cfg.TraceSample
+	if k <= 1 {
+		return true
+	}
+	return (index-1)%k == 0
 }
 
 // liveMembers returns the alive members in ID order.
@@ -556,7 +594,7 @@ func (e *Engine) planInterval(idx int, start time.Duration, fail func(error)) {
 		e.sim.At(at(phaseFaultEnd), func(time.Duration) { e.partition = nil })
 	}
 
-	e.sim.At(at(phaseData), func(now time.Duration) { e.doDataProbe(now, fail) })
+	e.sim.At(at(phaseData), func(now time.Duration) { e.doDataProbe(now, stats, fail) })
 	e.sim.At(at(phaseRekey), func(now time.Duration) { e.doRekey(now, stats, fail) })
 	e.sim.At(start+L, func(now time.Duration) {
 		e.doAudit(now, idx, stats)
@@ -669,10 +707,17 @@ func (e *Engine) pickVictim() (ident.ID, bool, bool) {
 
 // doDataProbe multicasts a data payload (Theorem 1 probe) and snapshots
 // who was alive to receive it.
-func (e *Engine) doDataProbe(now time.Duration, fail func(error)) {
+func (e *Engine) doDataProbe(now time.Duration, stats *IntervalStats, fail func(error)) {
 	e.dataMembers = e.dataMembers[:0]
 	for _, id := range e.liveMembers() {
 		e.dataMembers = append(e.dataMembers, memberSnap{id: id, key: id.Key()})
+	}
+	e.curDataTrace = nil
+	if e.traceInterval(stats.Index) {
+		e.curDataTrace = e.trec.Begin("data", stats.Index, now, "", nil)
+		for _, m := range e.dataMembers {
+			e.curDataTrace.Member(m.id)
+		}
 	}
 	res, err := tmesh.Multicast(tmesh.Config[int]{
 		Dir:            e.dir,
@@ -681,6 +726,8 @@ func (e *Engine) doDataProbe(now time.Duration, fail func(error)) {
 		DropHop:        e.dropHop,
 		Sim:            e.sim,
 		StartAt:        now,
+		Obs:            e.cfg.Obs,
+		Trace:          e.curDataTrace,
 	}, 1)
 	if err != nil {
 		fail(fmt.Errorf("chaos: data multicast: %w", err))
@@ -736,6 +783,7 @@ func (e *Engine) doRekey(now time.Duration, stats *IntervalStats, fail func(erro
 	stats.RekeyCost = msg.Cost()
 
 	e.curLadder = nil
+	e.curRekeyTrace = nil
 	e.rekeyLive = e.rekeyLive[:0]
 	if msg.Cost() == 0 {
 		return // no churn reached the tree; nothing to distribute
@@ -743,6 +791,13 @@ func (e *Engine) doRekey(now time.Duration, stats *IntervalStats, fail func(erro
 	for _, id := range e.liveMembers() {
 		if e.inTree[id.Key()] {
 			e.rekeyLive = append(e.rekeyLive, memberSnap{id: id, key: id.Key()})
+		}
+	}
+	if e.traceInterval(stats.Index) {
+		e.curRekeyTrace = e.trec.Begin("rekey", stats.Index, now,
+			e.cfg.Mode.String(), split.EncIDs(msg.Encryptions))
+		for _, m := range e.rekeyLive {
+			e.curRekeyTrace.Member(m.id)
 		}
 	}
 	deliverSpan := e.cfg.Obs.StartSpan("chaos_deliver")
@@ -759,6 +814,7 @@ func (e *Engine) doRekey(now time.Duration, stats *IntervalStats, fail func(erro
 		RetryBudget: e.cfg.RetryBudget,
 		DropUnicast: e.dropUnicast,
 		Obs:         e.cfg.Obs,
+		Trace:       e.curRekeyTrace,
 	}, msg)
 	deliverSpan.End()
 	if err != nil {
@@ -841,6 +897,35 @@ func (e *Engine) doAudit(now time.Duration, idx int, stats *IntervalStats) {
 	// Emit the interval record while the interval's live state is still
 	// around; the fields are all deterministic (see intervalEvent).
 	e.emitInterval(stats, verdicts)
+
+	// Close the interval's flight-recorder traces with the survivor set
+	// each delivery guarantee applies to — the same sets the delivery
+	// and coverage auditors above swept — so the offline trace audit
+	// reaches the same verdicts.
+	faultFree := stats.PartitionDomain < 0 && e.cfg.HopLoss == 0
+	if e.curDataTrace != nil {
+		var surv []ident.ID
+		for _, m := range e.dataMembers {
+			if e.alive(m.id) {
+				surv = append(surv, m.id)
+			}
+		}
+		e.curDataTrace.End(surv, faultFree)
+		e.curDataTrace = nil
+	}
+	if e.curRekeyTrace != nil {
+		var surv []ident.ID
+		for _, m := range e.rekeyLive {
+			if !e.alive(m.id) {
+				continue
+			}
+			if _, present := e.dir.Record(m.id); present {
+				surv = append(surv, m.id)
+			}
+		}
+		e.curRekeyTrace.End(surv, faultFree)
+		e.curRekeyTrace = nil
+	}
 
 	// Reset per-interval state the auditors consumed.
 	e.churnSinceAudit = make(map[string]ident.ID)

@@ -1,0 +1,107 @@
+package chaos
+
+import (
+	"bytes"
+	"testing"
+
+	"tmesh/internal/obs"
+	"tmesh/internal/obs/trace"
+)
+
+// TestSoakTracingDoesNotPerturbReport: the flight recorder must read the
+// simulation without steering it — same seed, same report, byte for
+// byte, tracing on or off — and every recorded trace must pass the
+// offline theorem audit even under 15% hop loss.
+func TestSoakTracingDoesNotPerturbReport(t *testing.T) {
+	plain := runSoak(t, smallConfig(31))
+
+	cfg := smallConfig(31)
+	var buf bytes.Buffer
+	cfg.TraceSink = obs.NewSink(&buf)
+	traced := runSoak(t, cfg)
+	if err := cfg.TraceSink.Err(); err != nil {
+		t.Fatalf("trace sink error: %v", err)
+	}
+
+	if plain.String() != traced.String() {
+		t.Errorf("tracing perturbed the report:\n--- off ---\n%s\n--- on ---\n%s",
+			plain.String(), traced.String())
+	}
+
+	records, err := trace.ParseRecords(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	audits, err := trace.AuditRecords(records)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every interval opens a data and a rekey trace.
+	if want := 2 * cfg.Intervals; len(audits) != want {
+		t.Fatalf("recorded %d traces, want %d", len(audits), want)
+	}
+	var rekeyHops, drops, recoveries int
+	for _, a := range audits {
+		if !a.OK() {
+			for _, c := range a.Checks {
+				for _, v := range c.Violations {
+					t.Errorf("%s %s: %s", a.ID, c.Name, v)
+				}
+			}
+		}
+		if a.Label == "rekey" {
+			rekeyHops += a.Hops
+			recoveries += a.Unicasts + a.Resyncs
+		}
+		drops += a.DroppedHops
+	}
+	// Guard against a vacuously green audit: with 15% hop loss the
+	// recorder must have seen real hops, real drops, and the ladder
+	// repairing the holes.
+	if rekeyHops == 0 {
+		t.Error("no rekey hops recorded")
+	}
+	if drops == 0 {
+		t.Error("no dropped hops recorded despite 15% hop loss")
+	}
+	if recoveries == 0 {
+		t.Error("no ladder recoveries recorded despite 15% hop loss")
+	}
+}
+
+// TestSoakTraceStreamDeterministic: same seed, same trace stream, byte
+// for byte — trace IDs, spans, and sim-times are all seed-derived.
+func TestSoakTraceStreamDeterministic(t *testing.T) {
+	emit := func(sample int) string {
+		cfg := smallConfig(32)
+		cfg.TraceSample = sample
+		var buf bytes.Buffer
+		cfg.TraceSink = obs.NewSink(&buf)
+		runSoak(t, cfg)
+		if err := cfg.TraceSink.Err(); err != nil {
+			t.Fatalf("trace sink error: %v", err)
+		}
+		return buf.String()
+	}
+	a, b := emit(1), emit(1)
+	if a != b {
+		t.Error("same-seed trace streams diverged")
+	}
+
+	countTraces := func(stream string) int {
+		records, err := trace.ParseRecords(bytes.NewReader([]byte(stream)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		audits, err := trace.AuditRecords(records)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return len(audits)
+	}
+	full, sampled := countTraces(a), countTraces(emit(2))
+	// Sampling every 2nd interval records intervals 1, 3, 5 of 6.
+	if want := full / 2; sampled != want {
+		t.Errorf("TraceSample=2 recorded %d traces, want %d (of %d)", sampled, want, full)
+	}
+}

@@ -1,7 +1,10 @@
 // Command jsonlcheck sanity-checks a telemetry JSONL file produced by
-// `rekeysim -soak -metrics-out`: every line must be valid JSON, and
-// records of kind "interval" must carry strictly increasing interval
-// numbers. Exit status 0 on a clean file, 1 on any violation.
+// `rekeysim -soak -metrics-out` or `-trace-out`: every line must be
+// valid JSON, records of kind "interval" must carry strictly increasing
+// interval numbers, and flight-recorder records (kinds "trace",
+// "member", "hop", "unicast", "resync", "end") must carry their
+// required fields with every hop's parent span recorded earlier in the
+// same trace. Exit status 0 on a clean file, 1 on any violation.
 //
 // Usage: jsonlcheck <file.jsonl>
 package main
@@ -30,10 +33,18 @@ func run(args []string) int {
 	defer f.Close()
 
 	var (
-		lines, intervals int
-		lastInterval     = 0
-		bad              int
+		lines, intervals, traceRecs int
+		lastInterval                = 0
+		bad                         int
 	)
+	complain := func(format string, a ...any) {
+		fmt.Fprintf(os.Stderr, "jsonlcheck: line %d: "+format+"\n", append([]any{lines}, a...)...)
+		bad++
+	}
+	// spansSeen tracks, per trace ID, the hop spans already recorded, so
+	// the parent-before-child ordering of the flight recorder is
+	// checkable in one pass.
+	spansSeen := map[string]map[int64]bool{}
 	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
 	for sc.Scan() {
@@ -41,33 +52,80 @@ func run(args []string) int {
 		var rec struct {
 			Kind     string `json:"kind"`
 			Interval int    `json:"interval"`
+			Trace    string `json:"trace"`
+			Label    string `json:"label"`
+			User     string `json:"user"`
+			Span     int64  `json:"span"`
+			Parent   int64  `json:"parent"`
+			To       string `json:"to"`
+			Level    int    `json:"level"`
 		}
 		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
-			fmt.Fprintf(os.Stderr, "jsonlcheck: line %d: invalid JSON: %v\n", lines, err)
-			bad++
+			complain("invalid JSON: %v", err)
 			continue
 		}
-		if rec.Kind == "interval" {
+		switch rec.Kind {
+		case "interval":
 			intervals++
 			if rec.Interval <= lastInterval {
-				fmt.Fprintf(os.Stderr, "jsonlcheck: line %d: interval %d not greater than previous %d\n",
-					lines, rec.Interval, lastInterval)
-				bad++
+				complain("interval %d not greater than previous %d", rec.Interval, lastInterval)
 			}
 			lastInterval = rec.Interval
+		case "trace":
+			traceRecs++
+			if rec.Trace == "" || rec.Label == "" {
+				complain("trace record without trace ID or label")
+			}
+		case "member", "unicast", "resync":
+			traceRecs++
+			if rec.Trace == "" || rec.User == "" {
+				complain("%s record without trace ID or user", rec.Kind)
+			}
+		case "end":
+			traceRecs++
+			if rec.Trace == "" {
+				complain("end record without trace ID")
+			}
+		case "hop":
+			traceRecs++
+			switch {
+			case rec.Trace == "":
+				complain("hop record without trace ID")
+			case rec.Span <= 0:
+				complain("hop record with span %d (spans are positive)", rec.Span)
+			case rec.To == "":
+				complain("hop record without a receiver")
+			case rec.Level < 1:
+				complain("hop record with forwarding level %d", rec.Level)
+			default:
+				seen := spansSeen[rec.Trace]
+				if seen == nil {
+					seen = map[int64]bool{}
+					spansSeen[rec.Trace] = seen
+				}
+				if seen[rec.Span] {
+					complain("hop span %d repeated in trace %s", rec.Span, rec.Trace)
+				}
+				if rec.Parent != 0 && !seen[rec.Parent] {
+					complain("hop span %d references parent %d not yet recorded in trace %s",
+						rec.Span, rec.Parent, rec.Trace)
+				}
+				seen[rec.Span] = true
+			}
 		}
 	}
 	if err := sc.Err(); err != nil {
 		fmt.Fprintln(os.Stderr, "jsonlcheck:", err)
 		return 2
 	}
-	if intervals == 0 {
-		fmt.Fprintln(os.Stderr, "jsonlcheck: no interval records found")
+	if intervals == 0 && traceRecs == 0 {
+		fmt.Fprintln(os.Stderr, "jsonlcheck: no interval or trace records found")
 		bad++
 	}
 	if bad > 0 {
 		return 1
 	}
-	fmt.Printf("jsonlcheck: %s ok (%d lines, %d interval records)\n", args[0], lines, intervals)
+	fmt.Printf("jsonlcheck: %s ok (%d lines, %d interval records, %d trace records)\n",
+		args[0], lines, intervals, traceRecs)
 	return 0
 }

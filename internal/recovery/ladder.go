@@ -24,6 +24,7 @@ import (
 	"tmesh/internal/keycrypt"
 	"tmesh/internal/keytree"
 	"tmesh/internal/obs"
+	"tmesh/internal/obs/trace"
 	"tmesh/internal/overlay"
 	"tmesh/internal/split"
 	"tmesh/internal/tmesh"
@@ -66,6 +67,11 @@ type LadderConfig struct {
 	// counters, retry counts, and dead-in-flight drops land there. The
 	// counts are deterministic; nothing flows back into the result.
 	Obs *obs.Registry
+	// Trace, when non-nil, is the flight-recorder trace the whole
+	// ladder joins: the rung-1 multicast emits its hop records into it,
+	// and rungs 2-3 add unicast/resync records, so the
+	// multicast→unicast→resync fallback reads as one causal chain.
+	Trace *trace.Trace
 }
 
 // Rung identifies which step of the ladder delivered the key.
@@ -179,6 +185,9 @@ func DistributeLadder(cfg LadderConfig, msg *keytree.Message) (*LadderResult, er
 		Sim:            cfg.Sim,
 		StartAt:        cfg.StartAt,
 		SizeOf:         func(encs []keycrypt.Encryption) int { return len(encs) },
+		Obs:            cfg.Obs,
+		Trace:          cfg.Trace,
+		TraceItems:     split.EncIDs,
 	}
 	if cfg.Mode == split.PerEncryption {
 		tcfg.SplitHop = split.Filter
@@ -225,6 +234,7 @@ func DistributeLadder(cfg LadderConfig, msg *keytree.Message) (*LadderResult, er
 			}
 			rtt := net.OneWay(host, server) + net.OneWay(server, host)
 			if cfg.DropUnicast != nil && cfg.DropUnicast(id, n) {
+				cfg.Trace.Unicast(id, n, now, -1, true, needed)
 				if n >= cfg.RetryBudget {
 					// Rung 3: budget exhausted, reliable full resync.
 					cfg.Sim.At(now+rtt, func(done time.Duration) {
@@ -234,6 +244,7 @@ func DistributeLadder(cfg LadderConfig, msg *keytree.Message) (*LadderResult, er
 						out.Resynced = append(out.Resynced, id)
 						out.ServerUnits += needed
 						deliver(id, ByResync, done)
+						cfg.Trace.Resync(id, now, done, needed)
 					})
 					return
 				}
@@ -250,6 +261,7 @@ func DistributeLadder(cfg LadderConfig, msg *keytree.Message) (*LadderResult, er
 					return
 				}
 				deliver(id, ByUnicast, done)
+				cfg.Trace.Unicast(id, n, now, done, false, needed)
 			})
 		})
 	}

@@ -25,6 +25,7 @@ import (
 	"tmesh/internal/keycrypt"
 	"tmesh/internal/keytree"
 	"tmesh/internal/obs"
+	"tmesh/internal/obs/trace"
 	"tmesh/internal/overlay"
 	"tmesh/internal/tmesh"
 	"tmesh/internal/vnet"
@@ -144,6 +145,20 @@ type Options struct {
 	// deliveries. The counts are themselves deterministic, and nothing
 	// from the registry feeds back into the report.
 	Obs *obs.Registry
+	// Trace, when non-nil, records every FORWARD hop of this session
+	// into the flight recorder, with per-hop encryption IDs so the
+	// trace audit can re-check each REKEY-MESSAGE-SPLIT decision.
+	Trace *trace.Trace
+}
+
+// EncIDs lists the encryption IDs of a message slice in order — the
+// per-hop item enumeration the flight recorder stores.
+func EncIDs(encs []keycrypt.Encryption) []string {
+	out := make([]string, len(encs))
+	for i, e := range encs {
+		out[i] = e.ID.String()
+	}
+	return out
 }
 
 // Delivery records one user's receipt of rekey encryptions.
@@ -236,6 +251,9 @@ func Rekey(dir *overlay.Directory, msg *keytree.Message, opts Options) (*Report,
 			Alive:              opts.Alive,
 			EarliestPrimaryRow: opts.EarliestPrimaryRow,
 			SizeOf:             func(encs []keycrypt.Encryption) int { return len(encs) },
+			Obs:                opts.Obs,
+			Trace:              opts.Trace,
+			TraceItems:         EncIDs,
 		}
 		if opts.Mode == PerEncryption {
 			cfg.SplitHop = Filter
@@ -284,6 +302,15 @@ func Rekey(dir *overlay.Directory, msg *keytree.Message, opts Options) (*Report,
 					n += len(p)
 				}
 				return n
+			},
+			Obs:   opts.Obs,
+			Trace: opts.Trace,
+			TraceItems: func(pkts []Packet) []string {
+				var out []string
+				for _, p := range pkts {
+					out = append(out, EncIDs(p)...)
+				}
+				return out
 			},
 		}
 		if observe != nil {

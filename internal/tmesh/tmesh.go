@@ -26,6 +26,8 @@ import (
 
 	"tmesh/internal/eventsim"
 	"tmesh/internal/ident"
+	"tmesh/internal/obs"
+	"tmesh/internal/obs/trace"
 	"tmesh/internal/overlay"
 	"tmesh/internal/vnet"
 )
@@ -79,6 +81,19 @@ type Config[P any] struct {
 	// rekey messages reach bottom-cluster leaders at forwarding level
 	// D-1 (footnote 8 of the paper). Zero disables the override.
 	EarliestPrimaryRow int
+	// Trace, when non-nil, records every hop of the session into the
+	// flight recorder: one causally-linked record per FORWARD
+	// transmission (including dropped hops). Nil keeps the hot path
+	// free of record construction.
+	Trace *trace.Trace
+	// TraceItems, when non-nil, enumerates a payload's item IDs (e.g.
+	// encryption IDs) for the hop records, so the trace audit can check
+	// REKEY-MESSAGE-SPLIT decisions item by item. Only called when
+	// Trace is non-nil.
+	TraceItems func(P) []string
+	// Obs, when non-nil, receives session counters (currently
+	// tmesh_duplicate_deliveries, the Theorem 1 alarm). Nil-safe.
+	Obs *obs.Registry
 }
 
 // Uplinks models the shared upstream access-link capacity of every
@@ -128,6 +143,15 @@ func (u *Uplinks) Reserve(h vnet.HostID, units int, now time.Duration) time.Dura
 
 // BusyUntil reports when a host's uplink drains (for tests).
 func (u *Uplinks) BusyUntil(h vnet.HostID) time.Duration { return u.busy[h] }
+
+// MessageBytes is the modeled wire size of one message of the given
+// units (0 on a nil model).
+func (u *Uplinks) MessageBytes(units int) int {
+	if u == nil {
+		return 0
+	}
+	return u.headerBytes + units*u.perUnitBytes
+}
 
 // UserStats aggregates one receiver's view of a session.
 type UserStats struct {
@@ -198,7 +222,8 @@ func Multicast[P any](cfg Config[P], payload P) (*Result, error) {
 	if sim == nil {
 		sim = eventsim.New()
 	}
-	m := &machine[P]{cfg: cfg, sim: sim, res: res}
+	m := &machine[P]{cfg: cfg, sim: sim, res: res, tr: cfg.Trace}
+	m.dupC = cfg.Obs.Counter("tmesh_duplicate_deliveries")
 	if err := m.validateSender(); err != nil {
 		return nil, err
 	}
@@ -221,9 +246,11 @@ func maxDuration(a, b time.Duration) time.Duration {
 }
 
 type machine[P any] struct {
-	cfg Config[P]
-	sim *eventsim.Simulator
-	res *Result
+	cfg  Config[P]
+	sim  *eventsim.Simulator
+	res  *Result
+	tr   *trace.Trace
+	dupC *obs.Counter
 }
 
 func (m *machine[P]) sizeOf(p P) int {
@@ -268,7 +295,7 @@ func (m *machine[P]) start(payload P, now time.Duration) {
 		// forward_level = 1 to each (0,j)-primary neighbor.
 		st := d.Server()
 		for j := 0; j < params.Base; j++ {
-			m.sendVia(st.Host(), ident.ID{}, 0, st.Entry(ident.Digit(j)), 0, payload, now)
+			m.sendVia(st.Host(), ident.ID{}, 0, st.Entry(ident.Digit(j)), 0, payload, now, 0)
 		}
 		return
 	}
@@ -277,13 +304,15 @@ func (m *machine[P]) start(payload P, now time.Duration) {
 		return // sender left between scheduling and start
 	}
 	m.userStats(m.cfg.SenderID).Level = 0
-	m.forwardRows(table, 0, payload, now)
+	m.forwardRows(table, 0, payload, now, 0)
 }
 
 // forwardRows implements FORWARD lines 6–9 for a user at forwarding level
 // `level`: for every row s in [level, D-1], send a copy with
-// forward_level = s+1 to each (s,j)-primary neighbor.
-func (m *machine[P]) forwardRows(table *overlay.Table, level int, payload P, now time.Duration) {
+// forward_level = s+1 to each (s,j)-primary neighbor. parentSpan is the
+// trace span that delivered the payload to this forwarder (0 at the
+// origin).
+func (m *machine[P]) forwardRows(table *overlay.Table, level int, payload P, now time.Duration, parentSpan int64) {
 	params := table.Params()
 	owner := table.Owner()
 	for s := level; s < params.Digits; s++ {
@@ -291,7 +320,7 @@ func (m *machine[P]) forwardRows(table *overlay.Table, level int, payload P, now
 			if ident.Digit(j) == owner.ID.Digit(s) {
 				continue // diagonal entries are empty by Definition 3
 			}
-			m.sendVia(owner.Host, owner.ID, level, table.Entry(s, ident.Digit(j)), s, payload, now)
+			m.sendVia(owner.Host, owner.ID, level, table.Entry(s, ident.Digit(j)), s, payload, now, parentSpan)
 		}
 	}
 }
@@ -299,7 +328,7 @@ func (m *machine[P]) forwardRows(table *overlay.Table, level int, payload P, now
 // sendVia transmits one copy through an (s,j)-entry: it picks the primary
 // live neighbor, splits the payload for that neighbor's covered subtree
 // (w.ID[0:s], i.e. the first s+1 digits), and schedules the delivery.
-func (m *machine[P]) sendVia(fromHost vnet.HostID, fromID ident.ID, fromLevel int, entry *overlay.Entry, s int, payload P, now time.Duration) {
+func (m *machine[P]) sendVia(fromHost vnet.HostID, fromID ident.ID, fromLevel int, entry *overlay.Entry, s int, payload P, now time.Duration, parentSpan int64) {
 	var next overlay.Neighbor
 	var ok bool
 	if m.cfg.EarliestPrimaryRow > 0 && s == m.cfg.EarliestPrimaryRow {
@@ -340,6 +369,9 @@ func (m *machine[P]) sendVia(fromHost vnet.HostID, fromID ident.ID, fromLevel in
 	toID, toHost := next.ID, next.Host
 	if m.cfg.DropHop != nil && m.cfg.DropHop(fromHost, toHost) {
 		m.res.Dropped++
+		if m.tr != nil {
+			m.tr.Hop(m.hopRecord(parentSpan, fromID, fromLevel, toID, level, subtree, payload, hopPayload, units, now, -1, true))
+		}
 		return
 	}
 	depart := now
@@ -347,12 +379,39 @@ func (m *machine[P]) sendVia(fromHost vnet.HostID, fromID ident.ID, fromLevel in
 		depart = m.cfg.Uplinks.Reserve(fromHost, units, now)
 	}
 	arrive := depart + net.OneWay(fromHost, toHost)
+	var span int64
+	if m.tr != nil {
+		span = m.tr.Hop(m.hopRecord(parentSpan, fromID, fromLevel, toID, level, subtree, payload, hopPayload, units, depart, arrive, false))
+	}
 	m.sim.At(arrive, func(at time.Duration) {
-		m.deliver(toID, toHost, level, fromID, fromLevel, hopPayload, at)
+		m.deliver(toID, toHost, level, fromID, fromLevel, hopPayload, at, span)
 	})
 }
 
-func (m *machine[P]) deliver(id ident.ID, host vnet.HostID, level int, fromID ident.ID, fromLevel int, payload P, now time.Duration) {
+// hopRecord assembles one flight-recorder hop. Only called with tracing
+// on, so the uninstrumented path never builds these fields.
+func (m *machine[P]) hopRecord(parentSpan int64, fromID ident.ID, fromLevel int, toID ident.ID, level int, subtree ident.Prefix, payload, hopPayload P, units int, sent, recv time.Duration, dropped bool) trace.Hop {
+	h := trace.Hop{
+		Parent:    parentSpan,
+		From:      fromID,
+		FromLevel: fromLevel,
+		To:        toID,
+		Level:     level,
+		Subtree:   subtree,
+		EncsIn:    m.sizeOf(payload),
+		Encs:      units,
+		Bytes:     m.cfg.Uplinks.MessageBytes(units),
+		Sent:      sent,
+		Recv:      recv,
+		Dropped:   dropped,
+	}
+	if m.cfg.TraceItems != nil {
+		h.Items = m.cfg.TraceItems(hopPayload)
+	}
+	return h
+}
+
+func (m *machine[P]) deliver(id ident.ID, host vnet.HostID, level int, fromID ident.ID, fromLevel int, payload P, now time.Duration, span int64) {
 	st := m.userStats(id)
 	st.Received++
 	st.UnitsReceived += m.sizeOf(payload)
@@ -360,7 +419,10 @@ func (m *machine[P]) deliver(id ident.ID, host vnet.HostID, level int, fromID id
 		m.cfg.OnDeliver(id, payload, level)
 	}
 	if st.Received > 1 {
-		return // duplicate: record it (tests assert it never happens) and stop
+		// Duplicate: record it (tests assert it never happens), raise
+		// the Theorem 1 alarm counter, and stop.
+		m.dupC.Inc()
+		return
 	}
 	st.Level = level
 	st.Delay = now
@@ -384,7 +446,7 @@ func (m *machine[P]) deliver(id ident.ID, host vnet.HostID, level int, fromID id
 	if !ok {
 		return // receiver left between send and delivery
 	}
-	m.forwardRows(table, level, payload, now)
+	m.forwardRows(table, level, payload, now, span)
 }
 
 // senderHost returns the sending host, or -1 if unknown.
