@@ -1,15 +1,16 @@
 GO ?= go
 FUZZTIME ?= 5s
 
-.PHONY: ci build vet test race bench bench-rekey soak-short soak-metrics trace-audit fuzz
+.PHONY: ci build vet test race bench bench-rekey bench-hot soak-short soak-metrics trace-audit fuzz
 
 # ci is the full verification gate: static checks, the race detector
 # over the whole tree (the parallel experiment harness in internal/exp
 # and the SPT cache in internal/vnet have concurrency tests that only
 # bite under -race; the chaos soak acceptance tests run here too), a
-# short fuzz pass over the wire decoders, and the flight-recorder
-# theorem audit over a freshly traced soak.
-ci: vet race fuzz trace-audit
+# short fuzz pass over the wire decoders, the flight-recorder theorem
+# audit over a freshly traced soak, and the hot-path benchmark gate
+# (the compiled hop filter must stay at 0 allocs/op).
+ci: vet race fuzz trace-audit bench-hot
 
 build:
 	$(GO) build ./...
@@ -61,6 +62,18 @@ fuzz:
 # run-level fan-out (speedup requires GOMAXPROCS > 1).
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x .
+
+# bench-hot regenerates the committed hot-path baseline
+# BENCH_hotpath.json: the per-hop split cost before (HopFilterLegacy)
+# and after (HopFilterCompiled) compilation, the one-time index build,
+# and the end-to-end regen/distribute pipeline at N=4096. benchjson
+# fails the target if the compiled hop filter reports any allocations,
+# so the allocation-free steady state is a CI invariant, not a comment.
+bench-hot:
+	$(GO) test -run '^$$' -bench 'HopFilter|SplitIndexBuild' -benchmem -benchtime 1s . > results-bench-hot.txt || (cat results-bench-hot.txt; rm -f results-bench-hot.txt; exit 1)
+	$(GO) test -run '^$$' -bench 'ProcessIntervalPar|DistributeRekey' -benchmem -benchtime 3x . >> results-bench-hot.txt || (cat results-bench-hot.txt; rm -f results-bench-hot.txt; exit 1)
+	$(GO) run ./cmd/benchjson -out BENCH_hotpath.json -require-zero-allocs BenchmarkHopFilterCompiled < results-bench-hot.txt
+	rm -f results-bench-hot.txt
 
 # bench-rekey compares the staged rekey pipeline sequential vs parallel
 # at N=4096 members with real AES-GCM: key regeneration across level-1

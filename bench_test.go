@@ -609,6 +609,69 @@ func BenchmarkDistributeRekeyPar(b *testing.B) {
 	benchDistributeRekey(b, runtime.GOMAXPROCS(0))
 }
 
+// benchSink keeps the hop-filter results live so the compiler cannot
+// elide the lookup under test.
+var benchSink int
+
+// benchHopSubtrees collects every proper subtree of the 4096-member
+// bench directory — the set of prefixes a rekey multicast actually
+// splits against hop by hop.
+func benchHopSubtrees(b *testing.B, dir *overlay.Directory) []ident.Prefix {
+	b.Helper()
+	var subtrees []ident.Prefix
+	dir.Tree().Walk(func(p ident.Prefix, _ int) bool {
+		if p.Len() > 0 {
+			subtrees = append(subtrees, p)
+		}
+		return true
+	})
+	if len(subtrees) == 0 {
+		b.Fatal("no subtrees")
+	}
+	return subtrees
+}
+
+// BenchmarkHopFilterLegacy is the pre-compilation per-hop cost: one
+// RelevantTo scan of the full rekey message per forwarding hop.
+func BenchmarkHopFilterLegacy(b *testing.B) {
+	dir, msg, _ := benchDistributeWorld(b)
+	subtrees := benchHopSubtrees(b, dir)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		benchSink += len(split.Filter(msg.Encryptions, subtrees[i%len(subtrees)]))
+	}
+}
+
+// BenchmarkHopFilterCompiled is the steady-state per-hop cost after the
+// split decisions are compiled once per rekey: a map lookup returning a
+// shared slice. Must report 0 allocs/op — `make bench-hot` fails
+// otherwise.
+func BenchmarkHopFilterCompiled(b *testing.B) {
+	dir, msg, _ := benchDistributeWorld(b)
+	subtrees := benchHopSubtrees(b, dir)
+	ix := split.NewIndex(dir.Tree(), msg.Encryptions, runtime.GOMAXPROCS(0))
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		benchSink += len(ix.Split(msg.Encryptions, subtrees[i%len(subtrees)]))
+	}
+}
+
+// BenchmarkSplitIndexBuild is the one-time compilation cost the rekey
+// pays up front to make every hop allocation-free.
+func BenchmarkSplitIndexBuild(b *testing.B) {
+	dir, msg, _ := benchDistributeWorld(b)
+	tree := dir.Tree()
+	workers := runtime.GOMAXPROCS(0)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ix := split.NewIndex(tree, msg.Encryptions, workers)
+		benchSink += len(ix.Split(msg.Encryptions, ident.EmptyPrefix))
+	}
+}
+
 func BenchmarkGTITMDijkstra(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {

@@ -1,0 +1,174 @@
+// Command benchjson converts `go test -bench -benchmem` text output on
+// stdin into a stable JSON document, so benchmark baselines can be
+// committed and diffed. It can also act as a CI gate: with
+// -require-zero-allocs, the named benchmarks must be present and report
+// 0 allocs/op, or the run fails.
+//
+//	go test -run xxx -bench 'HopFilter' -benchmem . | \
+//	    go run ./cmd/benchjson -out BENCH_hotpath.json \
+//	    -require-zero-allocs BenchmarkHopFilterCompiled
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark line. Go appends the GOMAXPROCS value to the
+// name ("BenchmarkFoo-8"); the suffix is stripped so baselines diff
+// cleanly across machines.
+type Result struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+}
+
+// Document is the committed baseline: environment header plus sorted
+// results.
+type Document struct {
+	Goos    string   `json:"goos,omitempty"`
+	Goarch  string   `json:"goarch,omitempty"`
+	Pkg     string   `json:"pkg,omitempty"`
+	CPU     string   `json:"cpu,omitempty"`
+	Results []Result `json:"results"`
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stderr))
+}
+
+func run(args []string, in io.Reader, errw io.Writer) int {
+	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
+	fs.SetOutput(errw)
+	out := fs.String("out", "", "write JSON here instead of stdout")
+	requireZero := fs.String("require-zero-allocs", "",
+		"comma-separated benchmark names that must be present with 0 allocs/op")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	doc, err := parse(in)
+	if err != nil {
+		fmt.Fprintf(errw, "benchjson: %v\n", err)
+		return 1
+	}
+	if len(doc.Results) == 0 {
+		fmt.Fprintln(errw, "benchjson: no benchmark lines on stdin")
+		return 1
+	}
+	fail := false
+	for _, name := range strings.Split(*requireZero, ",") {
+		if name = strings.TrimSpace(name); name == "" {
+			continue
+		}
+		r, ok := find(doc.Results, name)
+		switch {
+		case !ok:
+			fmt.Fprintf(errw, "benchjson: required benchmark %s missing from input\n", name)
+			fail = true
+		case r.AllocsPerOp > 0:
+			fmt.Fprintf(errw, "benchjson: %s allocates: %.0f allocs/op, want 0\n", name, r.AllocsPerOp)
+			fail = true
+		}
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fmt.Fprintf(errw, "benchjson: %v\n", err)
+		return 1
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		os.Stdout.Write(data)
+	} else if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintf(errw, "benchjson: %v\n", err)
+		return 1
+	}
+	if fail {
+		return 1
+	}
+	return 0
+}
+
+func parse(in io.Reader) (*Document, error) {
+	doc := &Document{}
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			doc.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			doc.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "pkg:"):
+			doc.Pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case strings.HasPrefix(line, "cpu:"):
+			doc.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			r, err := parseLine(line)
+			if err != nil {
+				return nil, err
+			}
+			doc.Results = append(doc.Results, r)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	sort.Slice(doc.Results, func(i, j int) bool {
+		return doc.Results[i].Name < doc.Results[j].Name
+	})
+	return doc, nil
+}
+
+func parseLine(line string) (Result, error) {
+	f := strings.Fields(line)
+	if len(f) < 4 || f[3] != "ns/op" {
+		return Result{}, fmt.Errorf("malformed benchmark line: %q", line)
+	}
+	name := f[0]
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	r := Result{Name: name}
+	var err error
+	if r.Iterations, err = strconv.ParseInt(f[1], 10, 64); err != nil {
+		return Result{}, fmt.Errorf("iterations in %q: %v", line, err)
+	}
+	if r.NsPerOp, err = strconv.ParseFloat(f[2], 64); err != nil {
+		return Result{}, fmt.Errorf("ns/op in %q: %v", line, err)
+	}
+	// Optional -benchmem pairs, in any order after ns/op.
+	for i := 4; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return Result{}, fmt.Errorf("metric in %q: %v", line, err)
+		}
+		switch f[i+1] {
+		case "B/op":
+			r.BytesPerOp = v
+		case "allocs/op":
+			r.AllocsPerOp = v
+		}
+	}
+	return r, nil
+}
+
+func find(rs []Result, name string) (Result, bool) {
+	for _, r := range rs {
+		if r.Name == name {
+			return r, true
+		}
+	}
+	return Result{}, false
+}

@@ -1,0 +1,75 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: tmesh
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkHopFilterLegacy-8   	   82401	     15228 ns/op	     189 B/op	       1 allocs/op
+BenchmarkHopFilterCompiled 	51086500	        22.84 ns/op	       0 B/op	       0 allocs/op
+PASS
+ok  	tmesh	123.958s
+`
+
+func TestParseStripsSuffixAndSorts(t *testing.T) {
+	doc, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Goos != "linux" || doc.Pkg != "tmesh" || doc.CPU == "" {
+		t.Errorf("header not captured: %+v", doc)
+	}
+	if len(doc.Results) != 2 {
+		t.Fatalf("parsed %d results, want 2", len(doc.Results))
+	}
+	// Sorted by name, -8 suffix stripped.
+	if doc.Results[0].Name != "BenchmarkHopFilterCompiled" ||
+		doc.Results[1].Name != "BenchmarkHopFilterLegacy" {
+		t.Errorf("names/order wrong: %q, %q", doc.Results[0].Name, doc.Results[1].Name)
+	}
+	legacy := doc.Results[1]
+	if legacy.NsPerOp != 15228 || legacy.BytesPerOp != 189 || legacy.AllocsPerOp != 1 {
+		t.Errorf("legacy metrics wrong: %+v", legacy)
+	}
+}
+
+func TestRunZeroAllocGate(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "bench.json")
+	var errBuf bytes.Buffer
+	if got := run([]string{"-out", out, "-require-zero-allocs", "BenchmarkHopFilterCompiled"},
+		strings.NewReader(sample), &errBuf); got != 0 {
+		t.Fatalf("passing gate exited %d: %s", got, errBuf.String())
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc Document
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+
+	// A benchmark that allocates must fail the gate.
+	errBuf.Reset()
+	if got := run([]string{"-out", os.DevNull, "-require-zero-allocs", "BenchmarkHopFilterLegacy"},
+		strings.NewReader(sample), &errBuf); got != 1 {
+		t.Errorf("allocating gate exited %d, want 1", got)
+	}
+	// A missing benchmark must fail the gate.
+	if got := run([]string{"-out", os.DevNull, "-require-zero-allocs", "BenchmarkNope"},
+		strings.NewReader(sample), &errBuf); got != 1 {
+		t.Errorf("missing gate exited %d, want 1", got)
+	}
+	// Empty input must fail rather than write an empty baseline.
+	if got := run([]string{"-out", os.DevNull}, strings.NewReader("PASS\n"), &errBuf); got != 1 {
+		t.Errorf("empty input exited %d, want 1", got)
+	}
+}

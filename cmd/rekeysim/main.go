@@ -75,15 +75,30 @@ func run(args []string) int {
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
-	if *metricsOut != "" && !*soak {
-		fmt.Fprintln(os.Stderr, "rekeysim: -metrics-out requires -soak (experiments are not telemetry-wired)")
-		fs.Usage()
-		return 2
-	}
-	if *traceOut != "" && !*soak {
-		fmt.Fprintln(os.Stderr, "rekeysim: -trace-out requires -soak (experiments are not trace-wired)")
-		fs.Usage()
-		return 2
+	// Soak-only flags fail fast outside -soak instead of being silently
+	// ignored; fs.Visit only sees flags the command line actually set,
+	// so defaults never trip the check.
+	if !*soak {
+		soakOnly := map[string]bool{
+			"soak-intervals":         true,
+			"soak-members":           true,
+			"soak-loss":              true,
+			"soak-rekey-parallelism": true,
+			"metrics-out":            true,
+			"trace-out":              true,
+			"trace-sample":           true,
+		}
+		var misused []string
+		fs.Visit(func(f *flag.Flag) {
+			if soakOnly[f.Name] {
+				misused = append(misused, "-"+f.Name)
+			}
+		})
+		if len(misused) > 0 {
+			fmt.Fprintf(os.Stderr, "rekeysim: %s require(s) -soak (experiments are not soak-wired)\n", strings.Join(misused, ", "))
+			fs.Usage()
+			return 2
+		}
 	}
 	if *pprofAddr != "" {
 		if err := startPprof(*pprofAddr); err != nil {

@@ -22,6 +22,15 @@ func TestRunArgHandling(t *testing.T) {
 		{"bad flag", []string{"-bogus", "fig6"}, 2},
 		{"metrics-out without soak", []string{"-metrics-out", os.DevNull, "fig6"}, 2},
 		{"trace-out without soak", []string{"-trace-out", os.DevNull, "fig6"}, 2},
+		{"trace-sample without soak", []string{"-trace-sample", "2", "fig6"}, 2},
+		{"soak-intervals without soak", []string{"-soak-intervals", "3", "fig6"}, 2},
+		{"soak-members without soak", []string{"-soak-members", "40", "fig6"}, 2},
+		{"soak-loss without soak", []string{"-soak-loss", "0.1", "fig6"}, 2},
+		{"soak-rekey-parallelism without soak", []string{"-soak-rekey-parallelism", "2", "fig6"}, 2},
+		{"several soak flags without soak", []string{"-soak-members", "40", "-trace-out", os.DevNull, "fig6"}, 2},
+		// Soak-only flags at their default values must not trip the
+		// check when absent from the command line.
+		{"experiment without soak flags ok", []string{"fig99"}, 1},
 	}
 	// Silence usage output during the table run.
 	devnull, err := os.Open(os.DevNull)

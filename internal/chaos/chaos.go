@@ -95,9 +95,10 @@ type Config struct {
 	FullSweepEvery int
 
 	// RekeyParallelism bounds the worker fan-out of the key-regeneration
-	// stage (keytree.Regenerate). Values <= 1 regenerate sequentially;
-	// either way the rekey messages are byte-identical, so replay
-	// comparisons hold across settings.
+	// stage (keytree.Regenerate) and of the split-index compilation the
+	// distribution ladder performs per rekey. Values <= 1 run
+	// sequentially; either way the rekey messages and split decisions
+	// are byte-identical, so replay comparisons hold across settings.
 	RekeyParallelism int
 
 	Topology vnet.GTITMConfig
@@ -802,19 +803,20 @@ func (e *Engine) doRekey(now time.Duration, stats *IntervalStats, fail func(erro
 	}
 	deliverSpan := e.cfg.Obs.StartSpan("chaos_deliver")
 	lr, err := recovery.DistributeLadder(recovery.LadderConfig{
-		Dir:         e.dir,
-		Sim:         e.sim,
-		StartAt:     now,
-		Mode:        e.cfg.Mode,
-		DropHop:     e.dropHop,
-		Alive:       e.mon.Alive,
-		Timeout:     e.cfg.Timeout,
-		RetryBase:   e.cfg.RetryBase,
-		RetryMax:    e.cfg.RetryMax,
-		RetryBudget: e.cfg.RetryBudget,
-		DropUnicast: e.dropUnicast,
-		Obs:         e.cfg.Obs,
-		Trace:       e.curRekeyTrace,
+		Dir:              e.dir,
+		Sim:              e.sim,
+		StartAt:          now,
+		Mode:             e.cfg.Mode,
+		SplitParallelism: e.cfg.RekeyParallelism,
+		DropHop:          e.dropHop,
+		Alive:            e.mon.Alive,
+		Timeout:          e.cfg.Timeout,
+		RetryBase:        e.cfg.RetryBase,
+		RetryMax:         e.cfg.RetryMax,
+		RetryBudget:      e.cfg.RetryBudget,
+		DropUnicast:      e.dropUnicast,
+		Obs:              e.cfg.Obs,
+		Trace:            e.curRekeyTrace,
 	}, msg)
 	deliverSpan.End()
 	if err != nil {

@@ -55,8 +55,9 @@ type Config struct {
 	// SplitMode is the default rekey transport mode; zero defaults to
 	// per-encryption splitting.
 	SplitMode split.Mode
-	// Parallelism bounds the worker count of the pipeline's crypto
-	// stages (key regeneration across level-1 subtrees, keyring apply
+	// Parallelism bounds the worker count of the pipeline's crypto and
+	// compile stages (key regeneration across level-1 subtrees,
+	// split-index compilation before the multicast, keyring apply
 	// across delivered users). Values <= 1 run sequentially. The rekey
 	// messages, reports, and resulting member state are byte-identical
 	// at any setting.
@@ -284,10 +285,13 @@ func (g *Group) initLeaderKeyrings(joined []ident.ID) error {
 func (g *Group) KeyringRebuilds() int { return g.keyringRebuilds }
 
 // DistributeRekey runs the pipeline's delivery and apply stages: the
+// message's split decisions are compiled into a per-subtree index, the
 // rekey message is multicast over the T-mesh with the group's splitting
-// mode, then (with RealCrypto) every delivered user's keyring applies
-// exactly the encryptions the splitting scheme handed it, fanned out
-// across the bounded worker pool. Apply failures are collected and
+// mode (each hop a zero-allocation index lookup), then (with
+// RealCrypto) every delivered user's keyring applies exactly the
+// encryptions the splitting scheme handed it, fanned out across the
+// bounded worker pool. Delivered slices are shared between deliveries
+// and treated as read-only throughout. Apply failures are collected and
 // reported together, sorted by user ID (*ApplyError). In cluster mode,
 // leaders then unicast the new group key to their members under
 // pairwise keys.

@@ -124,6 +124,19 @@ func (t *Tree) ChildDigits(p Prefix) []Digit {
 	return out
 }
 
+// EachChildDigit calls fn for every existing child digit of the prefix
+// node in increasing order. Unlike ChildDigits it neither allocates nor
+// sorts (it probes the child set digit by digit), so per-node tree
+// walks can run allocation-free.
+func (t *Tree) EachChildDigit(p Prefix, fn func(Digit)) {
+	set := t.children[p.Key()]
+	for d := 0; d < t.params.Base; d++ {
+		if _, ok := set[d]; ok {
+			fn(d)
+		}
+	}
+}
+
 // Members returns all user IDs in the subtree rooted at the prefix, in
 // increasing ID order. Members(EmptyPrefix) lists the whole group.
 func (t *Tree) Members(p Prefix) []ID {

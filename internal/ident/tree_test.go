@@ -190,3 +190,40 @@ func TestTreeRandomizedConsistency(t *testing.T) {
 		}
 	}
 }
+
+// TestEachChildDigit: the allocation-free iterator agrees with
+// ChildDigits on every node, in the same (increasing) order.
+func TestEachChildDigit(t *testing.T) {
+	params := Params{Digits: 3, Base: 4}
+	var ids []ID
+	for _, n := range []int{0, 5, 13, 21, 37, 55, 63} {
+		id, err := FromInt(params, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	tree, err := BuildTree(params, ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree.Walk(func(p Prefix, _ int) bool {
+		var got []Digit
+		tree.EachChildDigit(p, func(d Digit) { got = append(got, d) })
+		want := tree.ChildDigits(p)
+		if len(got) != len(want) {
+			t.Fatalf("EachChildDigit(%v) yielded %v, ChildDigits %v", p, got, want)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("EachChildDigit(%v) yielded %v, ChildDigits %v", p, got, want)
+			}
+		}
+		return true
+	})
+	// A node with no children (a leaf) and an absent node both yield
+	// nothing.
+	tree.EachChildDigit(ids[0].Prefix(params.Digits), func(d Digit) {
+		t.Errorf("leaf yielded child digit %d", d)
+	})
+}

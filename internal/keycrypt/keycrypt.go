@@ -18,6 +18,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash"
 	"io"
 
 	"tmesh/internal/ident"
@@ -164,6 +165,68 @@ func WrapSeeded(kek Key, kekID ident.Prefix, newKey Key, newKeyID ident.Prefix, 
 	return wrapWithNonce(kek, kekID, newKey, newKeyID, version, mac.Sum(nil)[:nonceSize])
 }
 
+// Wrapper batches WrapSeeded calls, amortising their fixed per-call
+// allocations: the nonce-derivation HMAC state (keyed once by the nonce
+// seed and Reset between wraps), the AAD scratch, the HMAC sum buffer,
+// and a chunked arena the ciphertexts are carved from. Output is
+// byte-identical to WrapSeeded for the same inputs. A Wrapper is not
+// safe for concurrent use; give each worker its own.
+type Wrapper struct {
+	mac   hash.Hash
+	aad   []byte
+	sum   []byte
+	arena []byte
+}
+
+// wrappedLen is the exact ciphertext size of one wrapped key:
+// nonce || AES-256-GCM(key) || tag.
+const wrappedLen = nonceSize + KeySize + 16
+
+// wrapperChunk is the arena granularity: 256 ciphertexts per bulk
+// allocation.
+const wrapperChunk = 256 * wrappedLen
+
+var nonceLabel = []byte("nonce/")
+
+// NewWrapper returns a Wrapper deriving nonces from the given seed,
+// equivalent to calling WrapSeeded with that nonceSeed.
+func NewWrapper(nonceSeed []byte) *Wrapper {
+	return &Wrapper{mac: hmac.New(sha256.New, nonceSeed)}
+}
+
+// WrapSeeded is the batch form of the package-level WrapSeeded; see its
+// documentation for the nonce-safety contract.
+func (w *Wrapper) WrapSeeded(kek Key, kekID ident.Prefix, newKey Key, newKeyID ident.Prefix, version uint64, context uint64) (Encryption, error) {
+	w.aad = appendWrapAAD(w.aad[:0], kekID, newKeyID, version)
+	w.mac.Reset()
+	w.mac.Write(nonceLabel)
+	w.mac.Write(w.aad)
+	var ctx [8]byte
+	binary.BigEndian.PutUint64(ctx[:], context)
+	w.mac.Write(ctx[:])
+	w.sum = w.mac.Sum(w.sum[:0])
+	nonce := w.sum[:nonceSize]
+
+	aead, err := newAEAD(kek)
+	if err != nil {
+		return Encryption{}, err
+	}
+	if cap(w.arena)-len(w.arena) < wrappedLen {
+		w.arena = make([]byte, 0, wrapperChunk)
+	}
+	off := len(w.arena)
+	// Three-index slice: capacity capped at wrappedLen so Seal fills the
+	// arena region in place without ever growing into later wraps.
+	ct := aead.Seal(append(w.arena[off:off:off+wrappedLen], nonce...), nonce, newKey.bytes[:], w.aad)
+	w.arena = w.arena[:off+len(ct)]
+	return Encryption{
+		ID:         kekID,
+		KeyID:      newKeyID,
+		KeyVersion: version,
+		Ciphertext: ct,
+	}, nil
+}
+
 func wrapWithNonce(kek Key, kekID ident.Prefix, newKey Key, newKeyID ident.Prefix, version uint64, nonce []byte) (Encryption, error) {
 	aead, err := newAEAD(kek)
 	if err != nil {
@@ -242,11 +305,13 @@ func newAEAD(k Key) (cipher.AEAD, error) {
 // wrapAAD binds an encryption to its advertised IDs and version so that a
 // relabelled encryption fails authentication.
 func wrapAAD(kekID, newKeyID ident.Prefix, version uint64) []byte {
-	aad := make([]byte, 0, kekID.Len()+newKeyID.Len()+10)
-	aad = append(aad, byte(kekID.Len()))
-	aad = append(aad, kekID.Key()...)
-	aad = append(aad, byte(newKeyID.Len()))
-	aad = append(aad, newKeyID.Key()...)
-	aad = binary.BigEndian.AppendUint64(aad, version)
-	return aad
+	return appendWrapAAD(make([]byte, 0, kekID.Len()+newKeyID.Len()+10), kekID, newKeyID, version)
+}
+
+func appendWrapAAD(dst []byte, kekID, newKeyID ident.Prefix, version uint64) []byte {
+	dst = append(dst, byte(kekID.Len()))
+	dst = append(dst, kekID.Key()...)
+	dst = append(dst, byte(newKeyID.Len()))
+	dst = append(dst, newKeyID.Key()...)
+	return binary.BigEndian.AppendUint64(dst, version)
 }

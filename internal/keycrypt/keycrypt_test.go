@@ -3,6 +3,7 @@ package keycrypt
 import (
 	"bytes"
 	"errors"
+	"reflect"
 	"testing"
 	"testing/quick"
 
@@ -210,5 +211,37 @@ func TestWrapRoundTripProperty(t *testing.T) {
 	}
 	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestWrapperMatchesWrapSeeded: the scratch-reusing Wrapper must be
+// byte-identical to the one-shot WrapSeeded across a long sequence of
+// wraps — the parallel key-tree regen depends on this to keep rekey
+// messages independent of worker count.
+func TestWrapperMatchesWrapSeeded(t *testing.T) {
+	seed := []byte("wrapper-identity-seed")
+	w := NewWrapper(seed)
+	for i := 0; i < 300; i++ {
+		kek := DeriveKey([]byte{byte(i)}, "kek")
+		nk := DeriveKey([]byte{byte(i)}, "new")
+		kekID := mustPrefix(t, ident.Digit(i%4), ident.Digit(i%3))
+		keyID := mustPrefix(t, ident.Digit(i % 4))
+		version := uint64(i * 7)
+		context := uint64(i % 5)
+		want, err := WrapSeeded(kek, kekID, nk, keyID, version, seed, context)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := w.WrapSeeded(kek, kekID, nk, keyID, version, context)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("wrap %d: Wrapper output differs from one-shot WrapSeeded", i)
+		}
+		back, err := Unwrap(kek, got)
+		if err != nil || !back.Equal(nk) {
+			t.Fatalf("wrap %d: round trip failed: %v", i, err)
+		}
 	}
 }

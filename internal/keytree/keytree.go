@@ -351,25 +351,30 @@ func (t *Tree) Regenerate(plan *BatchPlan, parallelism int) (*Message, error) {
 	// registry, making every update below a no-op without clock reads).
 	subtreeHist := t.opts.Obs.Histogram("keytree_regen_subtree_ns", obs.LatencyBuckets)
 	subtreeCount := t.opts.Obs.Counter("keytree_regen_subtrees")
-	runUnit := func(fn func(indices []int) error, indices []int) error {
+	runUnit := func(fn func(indices []int, wr *keycrypt.Wrapper) error, indices []int, wr *keycrypt.Wrapper) error {
 		if subtreeHist == nil {
-			return fn(indices)
+			return fn(indices, wr)
 		}
 		start := time.Now()
-		err := fn(indices)
+		err := fn(indices, wr)
 		subtreeHist.Observe(int64(time.Since(start)))
 		subtreeCount.Inc()
 		return err
 	}
 
-	runGroups := func(fn func(indices []int) error) error {
+	// Each worker gets one keycrypt.Wrapper so AES-GCM wraps inside its
+	// level-1-subtree units batch their fixed allocations; Wrapper
+	// output is byte-identical to the one-shot WrapSeeded, keeping the
+	// message independent of the fan-out.
+	runGroups := func(fn func(indices []int, wr *keycrypt.Wrapper) error) error {
 		workers := parallelism
 		if workers > len(groupOrder) {
 			workers = len(groupOrder)
 		}
 		if workers <= 1 {
+			wr := keycrypt.NewWrapper(t.nonceSeed)
 			for _, g := range groupOrder {
-				if err := runUnit(fn, groups[g]); err != nil {
+				if err := runUnit(fn, groups[g], wr); err != nil {
 					return err
 				}
 			}
@@ -382,12 +387,13 @@ func (t *Tree) Regenerate(plan *BatchPlan, parallelism int) (*Message, error) {
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
+				wr := keycrypt.NewWrapper(t.nonceSeed)
 				for {
 					i := int(next.Add(1)) - 1
 					if i >= len(groupOrder) {
 						return
 					}
-					errs[i] = runUnit(fn, groups[groupOrder[i]])
+					errs[i] = runUnit(fn, groups[groupOrder[i]], wr)
 				}
 			}()
 		}
@@ -404,7 +410,7 @@ func (t *Tree) Regenerate(plan *BatchPlan, parallelism int) (*Message, error) {
 	// independent of every other, so groups run concurrently; the
 	// barrier before the wrap phase guarantees the root (and every
 	// other parent) wraps only fully regenerated child keys.
-	if err := runGroups(func(indices []int) error {
+	if err := runGroups(func(indices []int, _ *keycrypt.Wrapper) error {
 		for _, i := range indices {
 			p := plan.Updated[i]
 			n := t.knodes[p.Key()]
@@ -424,7 +430,7 @@ func (t *Tree) Regenerate(plan *BatchPlan, parallelism int) (*Message, error) {
 	// Encryptions land in per-node slots, flattened in plan order, so
 	// the message layout is independent of worker scheduling.
 	slots := make([][]keycrypt.Encryption, len(plan.Updated))
-	if err := runGroups(func(indices []int) error {
+	if err := runGroups(func(indices []int, wr *keycrypt.Wrapper) error {
 		for _, i := range indices {
 			p := plan.Updated[i]
 			parent := t.knodes[p.Key()]
@@ -436,7 +442,7 @@ func (t *Tree) Regenerate(plan *BatchPlan, parallelism int) (*Message, error) {
 				} else {
 					childKey = t.knodes[child.Key()].key
 				}
-				enc, err := t.wrap(childKey, child, parent.key, p, parent.version)
+				enc, err := t.wrap(wr, childKey, child, parent.key, p, parent.version)
 				if err != nil {
 					return err
 				}
@@ -460,11 +466,11 @@ func (t *Tree) Regenerate(plan *BatchPlan, parallelism int) (*Message, error) {
 	return msg, nil
 }
 
-func (t *Tree) wrap(kek keycrypt.Key, kekID ident.Prefix, newKey keycrypt.Key, keyID ident.Prefix, version uint64) (keycrypt.Encryption, error) {
+func (t *Tree) wrap(wr *keycrypt.Wrapper, kek keycrypt.Key, kekID ident.Prefix, newKey keycrypt.Key, keyID ident.Prefix, version uint64) (keycrypt.Encryption, error) {
 	if !t.opts.RealCrypto {
 		return keycrypt.Encryption{ID: kekID, KeyID: keyID, KeyVersion: version}, nil
 	}
-	enc, err := keycrypt.WrapSeeded(kek, kekID, newKey, keyID, version, t.nonceSeed, t.interval)
+	enc, err := wr.WrapSeeded(kek, kekID, newKey, keyID, version, t.interval)
 	if err != nil {
 		return keycrypt.Encryption{}, fmt.Errorf("keytree: wrapping key %v: %w", keyID, err)
 	}

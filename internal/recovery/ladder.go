@@ -41,6 +41,10 @@ type LadderConfig struct {
 	StartAt time.Duration
 	// Mode is the splitting mode of the multicast attempt.
 	Mode split.Mode
+	// SplitParallelism bounds the goroutines compiling the multicast's
+	// split index (values <= 1 compile serially); the index contents —
+	// and hence everything downstream — are identical at any setting.
+	SplitParallelism int
 	// DropHop simulates per-hop loss on the multicast.
 	DropHop func(from, to vnet.HostID) bool
 	// Alive routes the multicast around crashed users and exempts users
@@ -190,7 +194,7 @@ func DistributeLadder(cfg LadderConfig, msg *keytree.Message) (*LadderResult, er
 		TraceItems:     split.EncIDs,
 	}
 	if cfg.Mode == split.PerEncryption {
-		tcfg.SplitHop = split.Filter
+		tcfg.SplitHop = split.NewIndex(cfg.Dir.Tree(), msg.Encryptions, cfg.SplitParallelism).Split
 	}
 	res, err := tmesh.Multicast(tcfg, msg.Encryptions)
 	if err != nil {

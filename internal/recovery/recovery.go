@@ -85,7 +85,7 @@ func Distribute(cfg Config, msg *keytree.Message) (*Result, error) {
 		SizeOf:         func(encs []keycrypt.Encryption) int { return len(encs) },
 	}
 	if mode == split.PerEncryption {
-		tcfg.SplitHop = split.Filter
+		tcfg.SplitHop = split.NewIndex(cfg.Dir.Tree(), msg.Encryptions, 1).Split
 	}
 	res, err := tmesh.Multicast(tcfg, msg.Encryptions)
 	if err != nil {

@@ -1,0 +1,320 @@
+package split
+
+// Compiled REKEY-MESSAGE-SPLIT: instead of re-running the RelevantTo
+// string-prefix test on every encryption at every FORWARD hop, the
+// message's split decisions are compiled once per rekey into a lookup
+// table over the directory's ID tree. The compiler marks each item's
+// encryption IDs as bit positions in a []uint64 word-set, then a single
+// depth-first pass over the tree derives, for every node p, the set of
+// items relevant to the subtree at p:
+//
+//	relevant(p) = path(p) ∪ sub(p)
+//	path(c)     = path(p) ∪ exact(p)          (IDs that are proper
+//	                                           prefixes of c: Theorem 2's
+//	                                           "e.ID is a prefix of w")
+//	sub(p)      = exact(p) ∪ hoisted(p) ∪ ⋃ sub(children)
+//	                                          ("w is a prefix of e.ID")
+//
+// exact(p) holds the items whose ID is p itself. hoisted(p) holds items
+// whose ID node is absent from the directory tree (membership can drift
+// from the key tree under churn); since the trie is prefix-closed, only
+// strict ancestors of an absent ID can be related to it, so its bits
+// attach at the deepest present ancestor and propagate upward only.
+//
+// Each relevant-set is materialised eagerly into chunked arenas, so the
+// per-hop split is a single map lookup returning a shared slice: zero
+// heap allocations in steady state. Results are order-preserving
+// subsequences of the input, byte-identical to Filter/FilterPackets for
+// every tree node, at any compile parallelism. Callers must treat the
+// returned slices as read-only — they are shared across hops.
+
+import (
+	"math/bits"
+	"sync"
+
+	"tmesh/internal/ident"
+	"tmesh/internal/keycrypt"
+)
+
+// arenaChunk is the granularity, in items, of the bulk allocations that
+// back the materialised slices.
+const arenaChunk = 1024
+
+// table maps an ID-tree node key to the items relevant to its subtree.
+type table[T any] struct {
+	slices map[string][]T
+}
+
+// markFunc enumerates the encryption IDs carried by item i.
+type markFunc func(i int, mark func(ident.Prefix))
+
+// compileTable builds the lookup for all nodes of the tree, fanning the
+// per-level-1-subtree walks out over up to `workers` goroutines. The
+// table's contents are a pure function of (tree, items), independent of
+// the worker count.
+func compileTable[T any](tree *ident.Tree, items []T, ids markFunc, workers int) table[T] {
+	if tree == nil || tree.Size() == 0 || len(items) == 0 {
+		// Nothing to compile; lookups fall back to filtering.
+		return table[T]{slices: make(map[string][]T)}
+	}
+	words := (len(items) + 63) / 64
+	// One combined entry per marked node keeps the DFS at a single map
+	// lookup per visited node. Word-sets are carved from a shared slab —
+	// there is one per distinct encryption ID.
+	marks := make(map[string]nodeBits, 64)
+	var bitSlab []uint64
+	setBit := func(key string, i int, hoist bool) {
+		nb := marks[key]
+		sel := &nb.exact
+		if hoist {
+			sel = &nb.hoisted
+		}
+		if *sel == nil {
+			if len(bitSlab) < words {
+				bitSlab = make([]uint64, 64*words)
+			}
+			*sel, bitSlab = bitSlab[:words:words], bitSlab[words:]
+		}
+		(*sel)[i>>6] |= 1 << (uint(i) & 63)
+		marks[key] = nb
+	}
+	for i := range items {
+		ids(i, func(id ident.Prefix) {
+			key := id.Key()
+			if tree.HasNode(id) {
+				setBit(key, i, false)
+				return
+			}
+			// Absent ID: hoist to the deepest present ancestor (the
+			// root always exists while the tree is non-empty).
+			for l := len(key) - 1; l >= 0; l-- {
+				if tree.HasNode(ident.PrefixFromKey(key[:l])) {
+					setBit(key[:l], i, true)
+					return
+				}
+			}
+		})
+	}
+
+	digits := tree.ChildDigits(ident.EmptyPrefix)
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(digits) {
+		workers = len(digits)
+	}
+	rootExact := marks[ident.EmptyPrefix.Key()].exact
+	hint := tree.NodeCount()/workers + 8
+	results := make([]map[string][]T, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			wk := newWalker(tree, items, words, marks, hint)
+			// Level-1 nodes inherit the root's exact bits on their
+			// path: a root-ID encryption is a prefix of everything.
+			copyBits(wk.path[1], rootExact)
+			for i := w; i < len(digits); i += workers {
+				wk.walk(ident.EmptyPrefix.Child(digits[i]), 1)
+			}
+			results[w] = wk.out
+		}(w)
+	}
+	wg.Wait()
+	// The workers' key sets are disjoint (distinct level-1 subtrees), so
+	// a single worker's map can serve as the table directly; merging only
+	// happens for parallel builds.
+	slices := results[0]
+	if workers > 1 {
+		slices = make(map[string][]T, tree.NodeCount()+1)
+		for _, m := range results {
+			for k, v := range m {
+				slices[k] = v
+			}
+		}
+	}
+	// Every encryption is relevant to the root subtree (the empty
+	// prefix is a prefix of every ID), so the root serves the full
+	// message without a separate materialisation.
+	slices[ident.EmptyPrefix.Key()] = items
+	return table[T]{slices: slices}
+}
+
+// nodeBits holds the marks attached to one tree node: the items whose
+// ID is the node itself (exact) and the items hoisted to it because
+// their own ID node is absent from the tree (hoisted).
+type nodeBits struct {
+	exact   []uint64
+	hoisted []uint64
+}
+
+// walker carries one goroutine's DFS state: per-depth path/sub word-set
+// scratch (reused across the whole walk) and the arena the relevant
+// slices are carved from.
+type walker[T any] struct {
+	tree  *ident.Tree
+	items []T
+	words int
+	marks map[string]nodeBits
+	path  [][]uint64 // path[d]: IDs that are strict prefixes of the depth-d node
+	sub   [][]uint64 // sub[d]: scratch for the depth-d subtree union
+	rel   []uint64
+	arena []T
+	out   map[string][]T
+}
+
+func newWalker[T any](tree *ident.Tree, items []T, words int, marks map[string]nodeBits, hint int) *walker[T] {
+	depths := tree.Params().Digits + 1
+	slab := make([]uint64, (2*depths+1)*words)
+	w := &walker[T]{
+		tree:  tree,
+		items: items,
+		words: words,
+		marks: marks,
+		path:  make([][]uint64, depths),
+		sub:   make([][]uint64, depths),
+		out:   make(map[string][]T, hint),
+	}
+	for d := 0; d < depths; d++ {
+		w.path[d], slab = slab[:words], slab[words:]
+		w.sub[d], slab = slab[:words], slab[words:]
+	}
+	w.rel = slab[:words]
+	return w
+}
+
+// walk visits the subtree rooted at p (depth == p.Len(), with
+// path[depth] already holding p's strict-prefix IDs), materialises p's
+// relevant slice, and leaves the subtree union in sub[depth].
+func (w *walker[T]) walk(p ident.Prefix, depth int) {
+	key := p.Key()
+	nb := w.marks[key]
+	sub := w.sub[depth]
+	copyBits(sub, nb.exact)
+	orBits(sub, nb.hoisted)
+	if depth < len(w.path)-1 {
+		childPath := w.path[depth+1]
+		copy(childPath, w.path[depth])
+		orBits(childPath, nb.exact)
+		w.tree.EachChildDigit(p, func(d ident.Digit) {
+			w.walk(p.Child(d), depth+1)
+			orBits(sub, w.sub[depth+1])
+		})
+	}
+	copy(w.rel, w.path[depth])
+	orBits(w.rel, sub)
+	w.out[key] = w.materialize(w.rel)
+}
+
+// materialize carves the items selected by the word-set out of the
+// walker's arena, preserving message order. Empty selections yield nil,
+// matching Filter's nil-for-empty convention.
+func (w *walker[T]) materialize(rel []uint64) []T {
+	n := 0
+	for _, word := range rel {
+		n += bits.OnesCount64(word)
+	}
+	if n == 0 {
+		return nil
+	}
+	if cap(w.arena)-len(w.arena) < n {
+		size := arenaChunk
+		if n > size {
+			size = n
+		}
+		w.arena = make([]T, 0, size)
+	}
+	off := len(w.arena)
+	sel := w.arena[off:off:off+n]
+	for wi, word := range rel {
+		base := wi << 6
+		// Relevant items are usually contiguous in message order (keys
+		// regenerate subtree by subtree), so copy whole runs of set
+		// bits instead of appending element by element.
+		for word != 0 {
+			start := bits.TrailingZeros64(word)
+			run := bits.TrailingZeros64(^(word >> uint(start)))
+			sel = append(sel, w.items[base+start:base+start+run]...)
+			if start+run == 64 {
+				break
+			}
+			word &^= 1<<uint(start+run) - 1
+		}
+	}
+	w.arena = w.arena[:off+n]
+	return sel
+}
+
+// copyBits sets dst to src, treating a nil src as all-zero.
+func copyBits(dst, src []uint64) {
+	if src == nil {
+		clear(dst)
+		return
+	}
+	copy(dst, src)
+}
+
+// orBits folds src into dst; nil src is a no-op.
+func orBits(dst, src []uint64) {
+	for i, word := range src {
+		dst[i] |= word
+	}
+}
+
+// Index is a compiled per-encryption splitter for one rekey message
+// against one directory snapshot. Build it once per rekey with NewIndex
+// and pass Split as the transport's SplitHop: every hop covering a tree
+// node present at compile time is answered by a table lookup with zero
+// allocations; any other subtree (e.g. a node created by churn after
+// compilation) falls back to the legacy Filter scan, which is equally
+// correct. Split is safe for concurrent use; the returned slices are
+// shared and must be treated as read-only.
+type Index struct {
+	table table[keycrypt.Encryption]
+}
+
+// NewIndex compiles the split decisions of the message's encryptions,
+// using up to `workers` goroutines (values < 1 mean 1).
+func NewIndex(tree *ident.Tree, encs []keycrypt.Encryption, workers int) *Index {
+	return &Index{table: compileTable(tree, encs, func(i int, mark func(ident.Prefix)) {
+		mark(encs[i].ID)
+	}, workers)}
+}
+
+// Split returns the encryptions relevant to the subtree — byte-identical
+// to Filter(encs, subtree) for any hop payload of the compiled message.
+func (ix *Index) Split(encs []keycrypt.Encryption, subtree ident.Prefix) []keycrypt.Encryption {
+	if out, ok := ix.table.slices[subtree.Key()]; ok {
+		return out
+	}
+	return Filter(encs, subtree)
+}
+
+// PacketIndex is the packet-granularity analogue of Index: a packet is
+// relevant to a subtree iff any encryption it carries is (the PerPacket
+// rule of Section 2.5), so each packet's bit is marked under every
+// encryption ID it contains.
+type PacketIndex struct {
+	table table[Packet]
+}
+
+// NewPacketIndex compiles the packet-level split decisions, using up to
+// `workers` goroutines (values < 1 mean 1).
+func NewPacketIndex(tree *ident.Tree, pkts []Packet, workers int) *PacketIndex {
+	return &PacketIndex{table: compileTable(tree, pkts, func(i int, mark func(ident.Prefix)) {
+		for _, e := range pkts[i] {
+			mark(e.ID)
+		}
+	}, workers)}
+}
+
+// Split returns the packets relevant to the subtree — byte-identical to
+// FilterPackets(pkts, subtree) for any hop payload of the compiled
+// message.
+func (ix *PacketIndex) Split(pkts []Packet, subtree ident.Prefix) []Packet {
+	if out, ok := ix.table.slices[subtree.Key()]; ok {
+		return out
+	}
+	return FilterPackets(pkts, subtree)
+}

@@ -60,15 +60,24 @@ func (m Mode) String() string {
 }
 
 // Filter returns the encryptions relevant to the given ID subtree: the
-// REKEY-MESSAGE-SPLIT selection. The input slice is not modified.
+// REKEY-MESSAGE-SPLIT selection. The input slice is not modified; the
+// result is nil when nothing is relevant.
 func Filter(encs []keycrypt.Encryption, subtree ident.Prefix) []keycrypt.Encryption {
-	var out []keycrypt.Encryption
+	return FilterInto(nil, encs, subtree)
+}
+
+// FilterInto is Filter appending into dst, reusing its capacity — the
+// scratch-buffer form for callers that filter in a loop and can recycle
+// a buffer between iterations (pass dst[:0]). Rekey itself answers hops
+// from a compiled Index instead, but the fallback paths and auditors
+// that re-check split decisions use this to stay off the allocator.
+func FilterInto(dst, encs []keycrypt.Encryption, subtree ident.Prefix) []keycrypt.Encryption {
 	for _, e := range encs {
 		if e.RelevantTo(subtree) {
-			out = append(out, e)
+			dst = append(dst, e)
 		}
 	}
-	return out
+	return dst
 }
 
 // Packet is a group of encryptions transported as one unit in PerPacket
@@ -76,18 +85,22 @@ func Filter(encs []keycrypt.Encryption, subtree ident.Prefix) []keycrypt.Encrypt
 type Packet []keycrypt.Encryption
 
 // Packetize groups encryptions into packets of at most perPacket
-// encryptions, in message order.
+// encryptions, in message order. Each packet owns its backing array: it
+// used to alias the input slice, so a consumer mutating one packet
+// in place corrupted sibling packets and the original message.
 func Packetize(encs []keycrypt.Encryption, perPacket int) []Packet {
 	if perPacket < 1 {
 		perPacket = 1
 	}
-	var out []Packet
+	if len(encs) == 0 {
+		return nil
+	}
+	out := make([]Packet, 0, (len(encs)+perPacket-1)/perPacket)
 	for start := 0; start < len(encs); start += perPacket {
-		end := start + perPacket
-		if end > len(encs) {
-			end = len(encs)
-		}
-		out = append(out, Packet(encs[start:end]))
+		end := min(start+perPacket, len(encs))
+		p := make(Packet, end-start)
+		copy(p, encs[start:end])
+		out = append(out, p)
 	}
 	return out
 }
@@ -95,17 +108,23 @@ func Packetize(encs []keycrypt.Encryption, perPacket int) []Packet {
 // FilterPackets keeps the packets containing at least one encryption
 // relevant to the subtree. Packets are forwarded whole, which is why
 // packet-level splitting carries more overhead than encryption-level.
+// The result is nil when nothing is relevant.
 func FilterPackets(pkts []Packet, subtree ident.Prefix) []Packet {
-	var out []Packet
+	return FilterPacketsInto(nil, pkts, subtree)
+}
+
+// FilterPacketsInto is FilterPackets appending into dst, reusing its
+// capacity — the scratch-buffer form (see FilterInto).
+func FilterPacketsInto(dst, pkts []Packet, subtree ident.Prefix) []Packet {
 	for _, p := range pkts {
 		for _, e := range p {
 			if e.RelevantTo(subtree) {
-				out = append(out, p)
+				dst = append(dst, p)
 				break
 			}
 		}
 	}
-	return out
+	return dst
 }
 
 // Options configures a rekey transport run.
@@ -113,13 +132,16 @@ type Options struct {
 	// Mode selects the splitting granularity; zero value defaults to
 	// PerEncryption.
 	Mode Mode
-	// PacketSize is the encryptions-per-packet for PerPacket mode
-	// (default 25, roughly a 1 KB packet of 40-byte encryptions).
+	// PacketSize is the encryptions-per-packet for PerPacket mode;
+	// values <= 0 default to 25 (roughly a 1 KB packet of 40-byte
+	// encryptions).
 	PacketSize int
 	// Alive is the optional liveness oracle passed through to T-mesh.
 	Alive func(ident.ID) bool
 	// OnDeliver, when non-nil, observes each user's delivered
-	// encryptions (for correctness verification).
+	// encryptions (for correctness verification). The slice may be
+	// shared with other deliveries of the same session (it comes from
+	// the compiled split index) and must be treated as read-only.
 	OnDeliver func(to ident.ID, encs []keycrypt.Encryption, level int)
 	// EarliestPrimaryRow passes through to the transport (footnote 8:
 	// the cluster heuristic prefers earliest-joined primaries at row
@@ -131,13 +153,11 @@ type Options struct {
 	// transport ever invokes delivery callbacks concurrently; arrival
 	// order itself is fixed by the deterministic simulation.
 	Collect bool
-	// Parallelism, when > 1, precomputes the per-level-1-subtree splits
-	// of the full message with that many workers before the multicast
-	// starts. The server's B first-hop filters are the only ones that
-	// scan the entire message, so hoisting them off the (serial)
-	// simulation loop shrinks its critical path. Filtering is a pure
-	// function of (message, subtree), so the transported bytes are
-	// identical at any parallelism.
+	// Parallelism bounds the goroutines used to compile the message's
+	// split decisions into the per-subtree lookup index before the
+	// multicast starts (values <= 1 compile serially). The index
+	// contents are a pure function of (message, directory), so the
+	// transported bytes are identical at any parallelism.
 	Parallelism int
 	// Obs is the optional telemetry registry. When set, the transport
 	// counts split hops, the encryptions each hop forwards (the paper's
@@ -161,7 +181,9 @@ func EncIDs(encs []keycrypt.Encryption) []string {
 	return out
 }
 
-// Delivery records one user's receipt of rekey encryptions.
+// Delivery records one user's receipt of rekey encryptions. The
+// Encryptions slice may be shared between deliveries (hops covering the
+// same subtree serve the same compiled slice); treat it as read-only.
 type Delivery struct {
 	To          ident.ID
 	Level       int
@@ -200,8 +222,13 @@ func Rekey(dir *overlay.Directory, msg *keytree.Message, opts Options) (*Report,
 	if msg == nil {
 		return nil, fmt.Errorf("split: message is required")
 	}
+	// Zero-value defaulting happens once, up front, so every downstream
+	// path (compiled, traced, packetised) sees the same resolved options.
 	if opts.Mode == 0 {
 		opts.Mode = PerEncryption
+	}
+	if opts.PacketSize <= 0 {
+		opts.PacketSize = 25
 	}
 
 	// Delivery observation: forward to the caller's OnDeliver and/or
@@ -256,10 +283,7 @@ func Rekey(dir *overlay.Directory, msg *keytree.Message, opts Options) (*Report,
 			TraceItems:         EncIDs,
 		}
 		if opts.Mode == PerEncryption {
-			cfg.SplitHop = Filter
-			if opts.Parallelism > 1 {
-				cfg.SplitHop = prefilteredSplit(dir, msg.Encryptions, opts.Parallelism)
-			}
+			cfg.SplitHop = NewIndex(dir.Tree(), msg.Encryptions, opts.Parallelism).Split
 			if hopsC != nil {
 				inner := cfg.SplitHop
 				cfg.SplitHop = func(encs []keycrypt.Encryption, subtree ident.Prefix) []keycrypt.Encryption {
@@ -275,14 +299,12 @@ func Rekey(dir *overlay.Directory, msg *keytree.Message, opts Options) (*Report,
 		}
 		res, err = tmesh.Multicast(cfg, msg.Encryptions)
 	case PerPacket:
-		size := opts.PacketSize
-		if size == 0 {
-			size = 25
-		}
-		splitHop := FilterPackets
+		pkts := Packetize(msg.Encryptions, opts.PacketSize)
+		splitHop := NewPacketIndex(dir.Tree(), pkts, opts.Parallelism).Split
 		if hopsC != nil {
+			inner := splitHop
 			splitHop = func(pkts []Packet, subtree ident.Prefix) []Packet {
-				out := FilterPackets(pkts, subtree)
+				out := inner(pkts, subtree)
 				hopsC.Inc()
 				for _, p := range out {
 					hopEncsC.Add(int64(len(p)))
@@ -322,7 +344,7 @@ func Rekey(dir *overlay.Directory, msg *keytree.Message, opts Options) (*Report,
 				observe(to, flat, level)
 			}
 		}
-		res, err = tmesh.Multicast(cfg, Packetize(msg.Encryptions, size))
+		res, err = tmesh.Multicast(cfg, pkts)
 	default:
 		return nil, fmt.Errorf("split: unknown mode %v", opts.Mode)
 	}
@@ -350,48 +372,4 @@ func Rekey(dir *overlay.Directory, msg *keytree.Message, opts Options) (*Report,
 		}
 	}
 	return rep, nil
-}
-
-// prefilteredSplit returns a SplitHop that serves the server's first-hop
-// splits (full message, level-1 subtree) from a table computed up front
-// by `workers` goroutines — one Filter pass per occupied level-1 digit —
-// and falls back to plain Filter everywhere else. Deeper hops then
-// filter already-reduced slices, so no hop on the simulation's critical
-// path scans the whole message.
-func prefilteredSplit(dir *overlay.Directory, full []keycrypt.Encryption, workers int) func([]keycrypt.Encryption, ident.Prefix) []keycrypt.Encryption {
-	digits := dir.Tree().ChildDigits(ident.EmptyPrefix)
-	if workers > len(digits) {
-		workers = len(digits)
-	}
-	table := make(map[string][]keycrypt.Encryption, len(digits))
-	subtrees := make([]ident.Prefix, len(digits))
-	for i, d := range digits {
-		subtrees[i] = ident.EmptyPrefix.Child(d)
-	}
-	results := make([][]keycrypt.Encryption, len(subtrees))
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			for i := w; i < len(subtrees); i += workers {
-				results[i] = Filter(full, subtrees[i])
-			}
-		}(w)
-	}
-	wg.Wait()
-	for i, p := range subtrees {
-		table[p.Key()] = results[i]
-	}
-	return func(encs []keycrypt.Encryption, subtree ident.Prefix) []keycrypt.Encryption {
-		// The table only answers splits of the full message; a filtered
-		// subset with the same length IS the full message (Filter only
-		// removes, preserving order).
-		if subtree.Len() == 1 && len(encs) == len(full) {
-			if pre, ok := table[subtree.Key()]; ok {
-				return pre
-			}
-		}
-		return Filter(encs, subtree)
-	}
 }

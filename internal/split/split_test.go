@@ -69,6 +69,26 @@ func TestPacketize(t *testing.T) {
 	}
 }
 
+// TestPacketizeCopies is the regression test for the aliasing bug where
+// Packetize returned sub-slices of the caller's backing array: mutating
+// a packet element corrupted the input message, and appending to a
+// packet overwrote the first element of the next one.
+func TestPacketizeCopies(t *testing.T) {
+	encs := make([]keycrypt.Encryption, 6)
+	for i := range encs {
+		encs[i] = keycrypt.Encryption{ID: mustPrefix(t, i%4), KeyVersion: uint64(i)}
+	}
+	pkts := Packetize(encs, 2)
+	pkts[0][0].KeyVersion = 999
+	if encs[0].KeyVersion == 999 {
+		t.Error("mutating a packet element reached through to the input slice")
+	}
+	_ = append(pkts[0], keycrypt.Encryption{KeyVersion: 888})
+	if pkts[1][0].KeyVersion == 888 || encs[2].KeyVersion == 888 {
+		t.Error("appending to a packet overwrote its neighbour's backing array")
+	}
+}
+
 func TestFilterPackets(t *testing.T) {
 	p1 := Packet{{ID: mustPrefix(t, 1)}, {ID: mustPrefix(t, 3)}}
 	p2 := Packet{{ID: mustPrefix(t, 3)}}

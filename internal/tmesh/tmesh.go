@@ -213,7 +213,7 @@ func Multicast[P any](cfg Config[P], payload P) (*Result, error) {
 		return nil, fmt.Errorf("tmesh: negative StartAt %v", cfg.StartAt)
 	}
 	res := &Result{
-		Users:      make(map[string]*UserStats),
+		Users:      make(map[string]*UserStats, cfg.Dir.Size()+1),
 		LinkCopies: make(map[vnet.LinkID]int),
 		LinkUnits:  make(map[vnet.LinkID]int),
 	}
@@ -223,6 +223,11 @@ func Multicast[P any](cfg Config[P], payload P) (*Result, error) {
 		sim = eventsim.New()
 	}
 	m := &machine[P]{cfg: cfg, sim: sim, res: res, tr: cfg.Trace}
+	// Stats for the whole group come from one slab: a session touches
+	// nearly every member, so per-user allocations are pure overhead.
+	// Entries handed out stay within the slab's fixed capacity (pointer
+	// stability); late joiners beyond it get individual allocations.
+	m.stats = make([]UserStats, 0, cfg.Dir.Size()+1)
 	m.dupC = cfg.Obs.Counter("tmesh_duplicate_deliveries")
 	if err := m.validateSender(); err != nil {
 		return nil, err
@@ -246,11 +251,12 @@ func maxDuration(a, b time.Duration) time.Duration {
 }
 
 type machine[P any] struct {
-	cfg  Config[P]
-	sim  *eventsim.Simulator
-	res  *Result
-	tr   *trace.Trace
-	dupC *obs.Counter
+	cfg   Config[P]
+	sim   *eventsim.Simulator
+	res   *Result
+	tr    *trace.Trace
+	dupC  *obs.Counter
+	stats []UserStats // slab backing res.Users entries; never regrown
 }
 
 func (m *machine[P]) sizeOf(p P) int {
@@ -270,7 +276,13 @@ func (m *machine[P]) splitFor(p P, subtree ident.Prefix) P {
 func (m *machine[P]) userStats(id ident.ID) *UserStats {
 	s, ok := m.res.Users[id.Key()]
 	if !ok {
-		s = &UserStats{Level: -1}
+		if len(m.stats) < cap(m.stats) {
+			m.stats = m.stats[:len(m.stats)+1]
+			s = &m.stats[len(m.stats)-1]
+			s.Level = -1
+		} else {
+			s = &UserStats{Level: -1}
+		}
 		m.res.Users[id.Key()] = s
 	}
 	return s
