@@ -1,16 +1,18 @@
 GO ?= go
 FUZZTIME ?= 5s
 
-.PHONY: ci build vet test race bench bench-rekey bench-hot soak-short soak-metrics trace-audit fuzz
+.PHONY: ci build vet test race bench bench-rekey bench-hot soak-short soak-transport soak-metrics trace-audit fuzz
 
 # ci is the full verification gate: static checks, the race detector
 # over the whole tree (the parallel experiment harness in internal/exp
 # and the SPT cache in internal/vnet have concurrency tests that only
-# bite under -race; the chaos soak acceptance tests run here too), a
-# short fuzz pass over the wire decoders, the flight-recorder theorem
-# audit over a freshly traced soak, and the hot-path benchmark gate
-# (the compiled hop filter must stay at 0 allocs/op).
-ci: vet race fuzz trace-audit bench-hot
+# bite under -race; the chaos soak acceptance tests run here too), the
+# socket-transport soak (fault ladder over real loopback and UDP
+# endpoints), a short fuzz pass over the wire decoders, the
+# flight-recorder theorem audit over a freshly traced soak, and the
+# hot-path benchmark gate (the compiled hop filter must stay at
+# 0 allocs/op).
+ci: vet race soak-transport fuzz trace-audit bench-hot
 
 build:
 	$(GO) build ./...
@@ -29,6 +31,16 @@ race:
 # every paper-invariant auditor armed.
 soak-short:
 	$(GO) test -race ./internal/chaos -run Soak
+
+# soak-transport is the race-enabled socket soak: rekeyd nodes over
+# real loopback and UDP transports walk the chaos fault ladder (loss,
+# delay spikes, partition, kill/restore, crash) with the five
+# paper-invariant auditors armed, plus the transport-level redial,
+# deadline, and goroutine-leak guards.
+soak-transport:
+	$(GO) test -race -count=1 ./internal/transport
+	$(GO) test -race -count=1 ./internal/chaos -run SocketSoak
+	$(GO) test -race -count=1 ./internal/rekeyd
 
 # soak-metrics runs a short instrumented soak with -metrics-out and
 # sanity-checks the JSONL stream (valid JSON per line, strictly
@@ -51,11 +63,13 @@ trace-audit:
 # fuzz gives each wire decoder a short budget on top of the committed
 # seed corpus (internal/wire/testdata/fuzz, regenerated with
 # `go run ./internal/wire/gencorpus`). `go test -fuzz` takes one
-# harness at a time, hence the three invocations.
+# harness at a time, hence the five invocations.
 fuzz:
 	$(GO) test ./internal/wire -run '^$$' -fuzz '^FuzzUnmarshalRekey$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/wire -run '^$$' -fuzz '^FuzzUnmarshalQueryReply$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/wire -run '^$$' -fuzz '^FuzzUnmarshalQuery$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/wire -run '^$$' -fuzz '^FuzzUnmarshalAck$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/wire -run '^$$' -fuzz '^FuzzUnmarshalSync$$' -fuzztime $(FUZZTIME)
 
 # bench runs every figure benchmark once; use a larger -benchtime for
 # stable numbers. The Fig06/Fig08 Sequential/Parallel pairs measure the

@@ -62,6 +62,12 @@ func run(args []string) int {
 		soakLoss      = fs.Float64("soak-loss", -1, "override the soak's per-hop loss probability")
 		soakRekeyPar  = fs.Int("soak-rekey-parallelism", 0, "override the soak's key-regeneration worker fan-out; 1 = sequential (rekey messages are byte-identical either way)")
 
+		daemon          = fs.Bool("daemon", false, "run the socket daemon soak (internal/rekeyd nodes over internal/transport sockets) instead of an experiment")
+		transportKind   = fs.String("transport", "loopback", "daemon fabric: sim, loopback, udp, or tcp; sim delegates to the simulator soak (requires -daemon)")
+		listenAddr      = fs.String("listen", "", "bind address for -transport=udp|tcp, e.g. 127.0.0.1:0 — every node binds its own ephemeral port (requires -daemon)")
+		daemonMembers   = fs.Int("daemon-members", 0, "override the daemon soak's initial group size (requires -daemon)")
+		daemonIntervals = fs.Int("daemon-intervals", 0, "override the daemon soak's interval count (requires -daemon)")
+
 		metricsOut  = fs.String("metrics-out", "", "write soak telemetry to this JSONL file: one deterministic record per audited interval plus a final registry snapshot (requires -soak)")
 		traceOut    = fs.String("trace-out", "", "write the soak's flight-recorder trace to this JSONL file: causally-linked per-hop records of sampled intervals' multicasts (requires -soak)")
 		traceSample = fs.Int("trace-sample", 1, "trace every k-th interval (with -trace-out); 1 traces all")
@@ -70,6 +76,7 @@ func run(args []string) int {
 	fs.Usage = func() {
 		fmt.Fprintf(fs.Output(), "usage: rekeysim [flags] <fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14|joincost|ablation|packets|loss|gnp|congestion|all>\n")
 		fmt.Fprintf(fs.Output(), "       rekeysim -soak [-seed N] [-soak-intervals N] [-soak-members N] [-soak-loss P] [-soak-rekey-parallelism N] [-metrics-out FILE] [-trace-out FILE] [-trace-sample K] [-pprof ADDR]\n")
+		fmt.Fprintf(fs.Output(), "       rekeysim -daemon [-transport sim|loopback|udp|tcp] [-listen ADDR] [-seed N] [-daemon-members N] [-daemon-intervals N]\n")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -100,11 +107,60 @@ func run(args []string) int {
 			return 2
 		}
 	}
+	// Daemon-only flags get the same fail-fast treatment.
+	if !*daemon {
+		daemonOnly := map[string]bool{
+			"transport":        true,
+			"listen":           true,
+			"daemon-members":   true,
+			"daemon-intervals": true,
+		}
+		var misused []string
+		fs.Visit(func(f *flag.Flag) {
+			if daemonOnly[f.Name] {
+				misused = append(misused, "-"+f.Name)
+			}
+		})
+		if len(misused) > 0 {
+			fmt.Fprintf(os.Stderr, "rekeysim: %s require(s) -daemon\n", strings.Join(misused, ", "))
+			fs.Usage()
+			return 2
+		}
+	}
 	if *pprofAddr != "" {
 		if err := startPprof(*pprofAddr); err != nil {
 			fmt.Fprintln(os.Stderr, "rekeysim:", err)
 			return 1
 		}
+	}
+	if *daemon {
+		if *soak {
+			fmt.Fprintln(os.Stderr, "rekeysim: -daemon and -soak are mutually exclusive")
+			return 2
+		}
+		if fs.NArg() != 0 {
+			fs.Usage()
+			return 2
+		}
+		// The locator rules are transport facts, not preferences: sockets
+		// cannot come up without somewhere to bind, and the in-process
+		// fabrics have nothing to bind.
+		switch *transportKind {
+		case "sim", "loopback":
+			if *listenAddr != "" {
+				fmt.Fprintf(os.Stderr, "rekeysim: -listen is meaningless with -transport=%s (udp and tcp bind sockets)\n", *transportKind)
+				return 2
+			}
+		case "udp", "tcp":
+			if *listenAddr == "" {
+				fmt.Fprintf(os.Stderr, "rekeysim: -transport=%s requires -listen (try 127.0.0.1:0)\n", *transportKind)
+				return 2
+			}
+		default:
+			fmt.Fprintf(os.Stderr, "rekeysim: unknown transport %q (want sim, loopback, udp, or tcp)\n", *transportKind)
+			return 2
+		}
+		return runDaemon(*seed, *transportKind, *listenAddr, *daemonMembers, *daemonIntervals, *pprofAddr != "")
 	}
 	if *soak {
 		if fs.NArg() != 0 {
@@ -162,11 +218,45 @@ type metricsEvent struct {
 	Snapshot obs.Snapshot `json:"snapshot"`
 }
 
-// runSoak drives one chaos soak session and prints its canonical
-// report; the exit status reflects the invariant verdicts, so the soak
-// can gate CI directly. With metricsOut the soak runs instrumented and
-// streams interval records (plus a final registry snapshot) to the
-// file; the report itself is byte-identical either way.
+// runDaemon drives the socket soak: rekeyd nodes exchanging wire
+// frames over real transport endpoints, walking the chaos fault ladder
+// with the five paper-invariant auditors. -transport=sim falls back to
+// the in-simulator soak, so one flag switches between the proven-in-sim
+// and proven-on-sockets versions of the same battery.
+func runDaemon(seed int64, kind, listen string, members, intervals int, withObs bool) int {
+	if kind == "sim" {
+		return runSoak(seed, intervals, members, -1, 0, "", "", 1, withObs)
+	}
+	cfg := chaos.DefaultSocketConfig(kind)
+	cfg.Seed = seed
+	cfg.Listen = listen
+	if members > 0 {
+		cfg.Members = members
+	}
+	if intervals > 0 {
+		cfg.Intervals = intervals
+	}
+	if withObs {
+		cfg.Obs = obs.New()
+		activeObs.Store(cfg.Obs)
+	}
+	rep, err := chaos.RunSocketSoak(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rekeysim:", err)
+		return 1
+	}
+	fmt.Print(rep.String())
+	if rep.TotalViolations() > 0 {
+		return 1
+	}
+	return 0
+}
+
+// runSoak drives one simulator chaos soak session and prints its
+// canonical report; the exit status reflects the invariant verdicts, so
+// the soak can gate CI directly. With metricsOut the soak runs
+// instrumented and streams interval records (plus a final registry
+// snapshot) to the file; the report itself is byte-identical either way.
 func runSoak(seed int64, intervals, members int, loss float64, rekeyParallelism int, metricsOut, traceOut string, traceSample int, withObs bool) int {
 	cfg := chaos.DefaultConfig(seed)
 	if intervals > 0 {

@@ -31,6 +31,20 @@ func TestRunArgHandling(t *testing.T) {
 		// Soak-only flags at their default values must not trip the
 		// check when absent from the command line.
 		{"experiment without soak flags ok", []string{"fig99"}, 1},
+		// Daemon flag hygiene: daemon-only flags outside -daemon,
+		// incompatible mode combinations, and locator rules all fail
+		// fast with exit 2 instead of being silently ignored.
+		{"transport without daemon", []string{"-transport", "udp", "fig6"}, 2},
+		{"listen without daemon", []string{"-listen", "127.0.0.1:0", "fig6"}, 2},
+		{"daemon-members without daemon", []string{"-daemon-members", "8", "fig6"}, 2},
+		{"daemon-intervals without daemon", []string{"-daemon-intervals", "2", "fig6"}, 2},
+		{"daemon with soak", []string{"-daemon", "-soak"}, 2},
+		{"daemon with experiment arg", []string{"-daemon", "fig6"}, 2},
+		{"daemon udp without listen", []string{"-daemon", "-transport", "udp"}, 2},
+		{"daemon tcp without listen", []string{"-daemon", "-transport", "tcp"}, 2},
+		{"daemon listen with loopback", []string{"-daemon", "-listen", "127.0.0.1:0"}, 2},
+		{"daemon listen with sim", []string{"-daemon", "-transport", "sim", "-listen", "127.0.0.1:0"}, 2},
+		{"daemon unknown transport", []string{"-daemon", "-transport", "carrier-pigeon"}, 2},
 	}
 	// Silence usage output during the table run.
 	devnull, err := os.Open(os.DevNull)
@@ -57,6 +71,23 @@ func TestRunTinyExperiments(t *testing.T) {
 		if got := run([]string{"-scale", "0.02", "-points", "4", exp}); got != 0 {
 			t.Errorf("run(%s) = %d, want 0", exp, got)
 		}
+	}
+}
+
+// TestRunDaemonSmoke drives the socket daemon soak through the CLI
+// path: loopback needs no locator, UDP binds real ephemeral sockets via
+// -listen. Two intervals cover the clean and loss rungs of the fault
+// ladder; exit 0 means every auditor stayed green.
+func TestRunDaemonSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI smoke test")
+	}
+	base := []string{"-daemon", "-daemon-members", "8", "-daemon-intervals", "2"}
+	if got := run(base); got != 0 {
+		t.Errorf("run(-daemon loopback) = %d, want 0", got)
+	}
+	if got := run(append(base, "-transport", "udp", "-listen", "127.0.0.1:0")); got != 0 {
+		t.Errorf("run(-daemon udp) = %d, want 0", got)
 	}
 }
 

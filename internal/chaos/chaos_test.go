@@ -123,8 +123,8 @@ func TestSoakConfigValidation(t *testing.T) {
 		func(c *Config) { c.Intervals = 0 },
 		func(c *Config) { c.K = 0 },
 		func(c *Config) { c.HopLoss = 1 },
-		func(c *Config) { c.IntervalLength = time.Second },  // detection cannot fit
-		func(c *Config) { c.RetryMax = 20 * time.Second },   // ladder cannot fit
+		func(c *Config) { c.IntervalLength = time.Second }, // detection cannot fit
+		func(c *Config) { c.RetryMax = 20 * time.Second },  // ladder cannot fit
 		func(c *Config) { c.SpikeFactor = 0.5 },
 	}
 	for i, mutate := range bad {

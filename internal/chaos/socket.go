@@ -1,0 +1,557 @@
+// Socket soak: the fault ladder proven outside the simulator. The
+// event-driven engine in chaos.go exercises the paper's invariants over
+// simulated time; this file drives the same five-auditor battery over a
+// rekeyd.World — real goroutine-per-node members exchanging wire frames
+// through internal/transport sockets, with faults injected by the
+// transport-level FaultPlan instead of the virtual network.
+//
+// The schedule walks a fault ladder each interval — clean, loss, delay
+// spikes, partition, kill/restore, crash — and every fault heals inside
+// the recovery ladder's budget, so the soak's standard of proof is
+// total convergence: a surviving member that ends an interval without
+// the group key is a violation, whatever the fault phase was.
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"tmesh/internal/ident"
+	"tmesh/internal/obs"
+	"tmesh/internal/overlay"
+	"tmesh/internal/recovery"
+	"tmesh/internal/rekeyd"
+	"tmesh/internal/transport"
+)
+
+// socketPhases is the per-interval fault ladder, cycled in order. The
+// first interval is always clean (index 0 hits "clean") so the soak
+// starts from a converged baseline.
+var socketPhases = []string{"clean", "loss", "delay", "partition", "kill", "crash"}
+
+// Heal points, chosen so every fault lifts well inside the recovery
+// ladder's budget (Timeout + Σ backoff + ResyncBudget·RetryMax): the
+// soak asserts convergence, so a fault that outlived the ladder would
+// be a configuration bug, not a finding.
+const (
+	socketHealAfter = 300 * time.Millisecond
+	socketLossProb  = 0.10
+	socketDelayProb = 0.30
+	socketDelayMin  = 2 * time.Millisecond
+	socketDelayMax  = 25 * time.Millisecond
+	socketKillCount = 2
+	socketPartFrac  = 4 // partition cuts 1/socketPartFrac of members
+)
+
+// SocketConfig parameterizes one socket soak session.
+type SocketConfig struct {
+	Transport string // "loopback" or "udp" (tcp works but is slow at full mesh)
+	Listen    string // bind address for socket transports; empty = 127.0.0.1:0
+	Seed      int64
+	Params    ident.Params
+	K         int
+	Members   int // initial group size
+	Intervals int
+	Ladder    rekeyd.Config // zero-valued fields take rekeyd defaults
+	Obs       *obs.Registry
+}
+
+// DefaultSocketConfig returns the configuration the soak-transport CI
+// target runs: a small group, one full cycle of the fault ladder, and
+// ladder timing generous enough that a clean interval converges by pure
+// multicast even on a loaded race-detector run.
+func DefaultSocketConfig(tr string) SocketConfig {
+	return SocketConfig{
+		Transport: tr,
+		Seed:      1,
+		Params:    ident.Params{Digits: 3, Base: 4},
+		K:         2,
+		Members:   16,
+		Intervals: len(socketPhases),
+		Ladder: rekeyd.Config{
+			Timeout:      500 * time.Millisecond,
+			RetryBase:    50 * time.Millisecond,
+			RetryMax:     200 * time.Millisecond,
+			RetryBudget:  3,
+			ResyncBudget: 5,
+		},
+	}
+}
+
+// SocketIntervalStats is the audited record of one socket-soak interval.
+type SocketIntervalStats struct {
+	Index   int
+	Phase   string
+	Members int // group size after the interval's churn
+
+	Joins, Leaves, Crashes, Kills int
+
+	Expected                                  int
+	KeyByMulticast, KeyByUnicast, KeyByResync int
+	DeadInFlight                              int
+	UnicastAttempts, SyncAttempts             int
+	MaxBackoff                                time.Duration
+
+	Violations []string
+}
+
+func (s *SocketIntervalStats) line() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "interval %02d: phase=%-9s members=%d join=%d leave=%d crash=%d kill=%d",
+		s.Index, s.Phase, s.Members, s.Joins, s.Leaves, s.Crashes, s.Kills)
+	fmt.Fprintf(&b, " | key=%d/%d/%d dead=%d attempts=%d/%d backoff=%v",
+		s.KeyByMulticast, s.KeyByUnicast, s.KeyByResync,
+		s.DeadInFlight, s.UnicastAttempts, s.SyncAttempts, s.MaxBackoff)
+	if len(s.Violations) == 0 {
+		b.WriteString(" | OK")
+	} else {
+		fmt.Fprintf(&b, " | VIOLATIONS=%d", len(s.Violations))
+	}
+	return b.String()
+}
+
+// SocketReport is the outcome of one socket soak. Unlike the simulator
+// report it is not byte-reproducible — rung attribution depends on real
+// scheduler timing — so tests assert TotalViolations, not the exact
+// rendering.
+type SocketReport struct {
+	Transport string
+	Seed      int64
+	Auditors  []string
+	Intervals []SocketIntervalStats
+
+	FinalViolations []string
+}
+
+// TotalViolations counts invariant failures across all intervals plus
+// the final sweep.
+func (r *SocketReport) TotalViolations() int {
+	n := len(r.FinalViolations)
+	for i := range r.Intervals {
+		n += len(r.Intervals[i].Violations)
+	}
+	return n
+}
+
+// String renders the soak report.
+func (r *SocketReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "socket soak transport=%s seed=%d intervals=%d auditors=%s\n",
+		r.Transport, r.Seed, len(r.Intervals), strings.Join(r.Auditors, ","))
+	for i := range r.Intervals {
+		b.WriteString(r.Intervals[i].line())
+		b.WriteByte('\n')
+		for _, v := range r.Intervals[i].Violations {
+			fmt.Fprintf(&b, "  violation: %s\n", v)
+		}
+	}
+	fmt.Fprintf(&b, "final: violations=%d\n", r.TotalViolations())
+	for _, v := range r.FinalViolations {
+		fmt.Fprintf(&b, "  final violation: %s\n", v)
+	}
+	return b.String()
+}
+
+// socketRun is the live state the socket auditors inspect.
+type socketRun struct {
+	cfg    SocketConfig
+	w      *rekeyd.World
+	mirror *clusterMirror
+	rng    *rand.Rand
+
+	// Interval-scoped: the churn the driver just applied and the
+	// ladder result it produced.
+	res       *rekeyd.Result
+	joined    []ident.ID
+	departed  []ident.ID // leaves + crash evictions
+	faultFree bool
+
+	lastEpoch map[string]uint64
+}
+
+// socketAuditor mirrors the simulator's Auditor shape for the world.
+type socketAuditor struct {
+	name  string
+	check func(s *socketRun, idx int, stats *SocketIntervalStats) error
+}
+
+func socketAuditors() []socketAuditor {
+	return []socketAuditor{
+		{name: "k-consistency", check: socketAuditKConsistency},
+		{name: "delivery", check: socketAuditDelivery},
+		{name: "coverage", check: socketAuditCoverage},
+		{name: "cluster", check: socketAuditCluster},
+		{name: "ladder", check: socketAuditLadder},
+	}
+}
+
+// socketAuditKConsistency runs the full Definition 3 sweep every
+// interval; the socket group is small enough that scoping (the
+// simulator's optimization) buys nothing.
+func socketAuditKConsistency(s *socketRun, idx int, stats *SocketIntervalStats) error {
+	var err error
+	s.w.Shared().Read(func(dir *overlay.Directory) { err = dir.CheckConsistency() })
+	if err != nil {
+		return fmt.Errorf("full sweep: %w", err)
+	}
+	return nil
+}
+
+// socketAuditDelivery checks the Theorem 1 probe over real sockets: in
+// a fault-free interval the multicast tree delivers exactly one copy of
+// the rekey message to every member — the per-hop bitmap split never
+// duplicates and never starves. Faulty intervals are skipped: the
+// ladder's recovery unicasts are legitimate extra copies, so copy
+// counts prove nothing there.
+func socketAuditDelivery(s *socketRun, idx int, stats *SocketIntervalStats) error {
+	if !s.faultFree {
+		return nil
+	}
+	var vs []string
+	for _, m := range s.w.Members() {
+		if n := m.CopiesOf(s.res.Interval); n != 1 {
+			vs = append(vs, fmt.Sprintf("member %v received %d copies in a fault-free interval (Theorem 1: exactly one)", m.ID(), n))
+		}
+	}
+	if rungs := s.res.Rungs(); vs == nil && (rungs[recovery.ByUnicast] > 0 || rungs[recovery.ByResync] > 0) {
+		vs = append(vs, fmt.Sprintf("fault-free interval needed the ladder: %d unicast, %d resync",
+			rungs[recovery.ByUnicast], rungs[recovery.ByResync]))
+	}
+	return joinViolations(vs)
+}
+
+// socketAuditCoverage is Lemma 3 / Theorem 2 with real keyrings: every
+// member still in the group holds the server's group key byte for byte
+// and sits at the tree's interval. Because every fault in the schedule
+// heals inside the ladder budget, there is no surviving-member carve-out.
+func socketAuditCoverage(s *socketRun, idx int, stats *SocketIntervalStats) error {
+	want, ok := s.w.Tree().GroupKey()
+	if !ok {
+		return fmt.Errorf("key tree has no group key")
+	}
+	var vs []string
+	for _, m := range s.w.Members() {
+		got, has := m.GroupKey()
+		if !has || !got.Equal(want) {
+			vs = append(vs, fmt.Sprintf("member %v does not hold the interval's group key", m.ID()))
+			continue
+		}
+		if m.Applied() != s.w.Tree().Interval() {
+			vs = append(vs, fmt.Sprintf("member %v applied interval %d, tree at %d", m.ID(), m.Applied(), s.w.Tree().Interval()))
+		}
+	}
+	return joinViolations(vs)
+}
+
+// socketAuditCluster replays the Appendix B bottom-cluster invariants
+// against a mirror fed by the driver's churn: one live leader per
+// cluster, leader inside its own cluster, no member senior to it,
+// epochs never regress (except a cluster that emptied and re-formed),
+// and mirror membership agrees with the directory both ways.
+func socketAuditCluster(s *socketRun, idx int, stats *SocketIntervalStats) error {
+	if _, err := s.mirror.process(); err != nil {
+		return fmt.Errorf("mirror process: %w", err)
+	}
+	var vs []string
+	seen := make(map[string]bool)
+	for _, p := range s.mirror.prefixes() {
+		pk := p.Key()
+		seen[pk] = true
+		leader, ok := s.mirror.leader(p)
+		if !ok {
+			vs = append(vs, fmt.Sprintf("cluster %s has no leader", pk))
+			continue
+		}
+		if !leader.ID.HasPrefix(p) {
+			vs = append(vs, fmt.Sprintf("cluster %s led by outsider %v", pk, leader.ID))
+		}
+		if _, present := s.w.Member(leader.ID); !present || s.w.IsKilled(leader.ID) {
+			vs = append(vs, fmt.Sprintf("cluster %s leader %v is dead or departed", pk, leader.ID))
+		}
+		for _, m := range s.mirror.membersOf(p) {
+			if m.JoinTime < leader.JoinTime {
+				vs = append(vs, fmt.Sprintf("cluster %s: member %v joined before leader %v", pk, m.ID, leader.ID))
+			}
+			if _, present := s.w.Member(m.ID); !present {
+				vs = append(vs, fmt.Sprintf("cluster %s member %v is not in the group", pk, m.ID))
+			}
+		}
+		if ep, ok := s.mirror.epoch(p); ok {
+			if last, prev := s.lastEpoch[pk]; prev && ep < last && ep != 0 {
+				vs = append(vs, fmt.Sprintf("cluster %s epoch went backwards: %d -> %d", pk, last, ep))
+			}
+			s.lastEpoch[pk] = ep
+		}
+	}
+	for k := range s.lastEpoch {
+		if !seen[k] {
+			delete(s.lastEpoch, k)
+		}
+	}
+	for _, m := range s.w.Members() {
+		if !s.mirror.has(m.ID().Key()) {
+			vs = append(vs, fmt.Sprintf("member %v missing from the cluster mirror", m.ID()))
+		}
+	}
+	return joinViolations(vs)
+}
+
+// socketAuditLadder checks the interval's recovery accounting: the
+// acked set plus the dead-in-flight set is exactly the expected set,
+// reported backoff never exceeds the cap, and — because every injected
+// fault healed inside the budget — nobody was left dead in flight.
+func socketAuditLadder(s *socketRun, idx int, stats *SocketIntervalStats) error {
+	res := s.res
+	rungs := res.Rungs()
+	stats.Expected = res.Expected
+	stats.KeyByMulticast = rungs[recovery.ByMulticast]
+	stats.KeyByUnicast = rungs[recovery.ByUnicast]
+	stats.KeyByResync = rungs[recovery.ByResync]
+	stats.DeadInFlight = len(res.DeadInFlight)
+	stats.UnicastAttempts = res.UnicastAttempts
+	stats.SyncAttempts = res.SyncAttempts
+	stats.MaxBackoff = res.MaxBackoff
+
+	var vs []string
+	if got := len(res.RungOf) + len(res.DeadInFlight); got != res.Expected {
+		vs = append(vs, fmt.Sprintf("ladder accounted for %d of %d expected members", got, res.Expected))
+	}
+	for _, id := range res.DeadInFlight {
+		if !s.w.IsKilled(id) {
+			vs = append(vs, fmt.Sprintf("reachable member %v declared dead in flight", id))
+		}
+	}
+	if len(res.DeadInFlight) > 0 {
+		vs = append(vs, fmt.Sprintf("%d members dead in flight though every fault healed inside the ladder budget", len(res.DeadInFlight)))
+	}
+	if max := s.ladderMax(); res.MaxBackoff > max {
+		vs = append(vs, fmt.Sprintf("reported backoff %v exceeds RetryMax %v", res.MaxBackoff, max))
+	}
+	return joinViolations(vs)
+}
+
+func (s *socketRun) ladderMax() time.Duration {
+	if s.cfg.Ladder.RetryMax > 0 {
+		return s.cfg.Ladder.RetryMax
+	}
+	return 4 * s.cfg.Ladder.RetryBase
+}
+
+// RunSocketSoak drives one soak session over real sockets and returns
+// the audited report. A non-nil error means the driver itself broke
+// (world construction, churn bookkeeping); invariant failures are
+// reported as violations, never as errors, so one bad interval cannot
+// hide later ones.
+func RunSocketSoak(cfg SocketConfig) (*SocketReport, error) {
+	if cfg.Transport == "" {
+		cfg.Transport = "loopback"
+	}
+	if cfg.Intervals <= 0 {
+		cfg.Intervals = len(socketPhases)
+	}
+	w, err := rekeyd.NewWorld(rekeyd.WorldConfig{
+		Params:         cfg.Params,
+		K:              cfg.K,
+		Seed:           cfg.Seed,
+		InitialMembers: cfg.Members,
+		Transport:      cfg.Transport,
+		Listen:         cfg.Listen,
+		Ladder:         cfg.Ladder,
+		Obs:            cfg.Obs,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer w.Close()
+
+	mirror, err := newClusterMirror(cfg.Params, seedBytes(cfg.Seed))
+	if err != nil {
+		return nil, err
+	}
+	run := &socketRun{
+		cfg:       cfg,
+		w:         w,
+		mirror:    mirror,
+		rng:       rand.New(rand.NewSource(cfg.Seed ^ 0x736f636b)),
+		lastEpoch: make(map[string]uint64),
+	}
+	// Seed the mirror with the world's initial membership.
+	if err := run.mirrorJoinCurrent(); err != nil {
+		return nil, err
+	}
+
+	auditors := socketAuditors()
+	rep := &SocketReport{Transport: cfg.Transport, Seed: cfg.Seed}
+	for _, a := range auditors {
+		rep.Auditors = append(rep.Auditors, a.name)
+	}
+
+	for idx := 0; idx < cfg.Intervals; idx++ {
+		phase := socketPhases[idx%len(socketPhases)]
+		stats := SocketIntervalStats{Index: idx, Phase: phase}
+		if err := run.interval(phase, &stats); err != nil {
+			return nil, err
+		}
+		for _, a := range auditors {
+			if aerr := a.check(run, idx, &stats); aerr != nil {
+				stats.Violations = append(stats.Violations, fmt.Sprintf("%s: %v", a.name, aerr))
+			}
+		}
+		stats.Members = w.Size()
+		rep.Intervals = append(rep.Intervals, stats)
+	}
+
+	// Final sweep: the overlay must be k-consistent and every member
+	// must hold the last group key once the session quiesces.
+	var sweep error
+	w.Shared().Read(func(dir *overlay.Directory) { sweep = dir.CheckConsistency() })
+	if sweep != nil {
+		rep.FinalViolations = append(rep.FinalViolations, fmt.Sprintf("k-consistency: %v", sweep))
+	}
+	if want, ok := w.Tree().GroupKey(); ok {
+		for _, m := range w.Members() {
+			if got, has := m.GroupKey(); !has || !got.Equal(want) {
+				rep.FinalViolations = append(rep.FinalViolations, fmt.Sprintf("coverage: member %v ends the soak without the group key", m.ID()))
+			}
+		}
+	}
+	return rep, nil
+}
+
+// interval applies one phase's churn and faults, runs the rekey, and
+// waits for every fault to heal.
+func (run *socketRun) interval(phase string, stats *SocketIntervalStats) error {
+	w, plan := run.w, run.w.FaultPlan()
+	run.joined, run.departed = nil, nil
+	run.faultFree = phase == "clean"
+
+	// Churn: one join per interval; from the second interval on, one
+	// leave; the crash phase replaces the leave with a hard crash.
+	if id, err := w.Join(); err == nil {
+		run.joined = append(run.joined, id)
+		stats.Joins++
+	} else {
+		return fmt.Errorf("chaos: socket join: %w", err)
+	}
+	members := w.Members()
+	victim := func() ident.ID { return members[run.rng.Intn(len(members))].ID() }
+	switch phase {
+	case "crash":
+		v := victim()
+		if err := w.Crash(v); err != nil {
+			return fmt.Errorf("chaos: socket crash: %w", err)
+		}
+		run.departed = append(run.departed, v)
+		stats.Crashes++
+	default:
+		if stats.Index > 0 {
+			v := victim()
+			if err := w.Leave(v); err != nil {
+				return fmt.Errorf("chaos: socket leave: %w", err)
+			}
+			run.departed = append(run.departed, v)
+			stats.Leaves++
+		}
+	}
+	departed := make(map[string]bool, len(run.departed))
+	for _, id := range run.departed {
+		departed[id.Key()] = true
+	}
+
+	// Faults, healed mid-ladder by the timer goroutine.
+	var heal sync.WaitGroup
+	healAt := func(f func()) {
+		heal.Add(1)
+		go func() {
+			defer heal.Done()
+			time.Sleep(socketHealAfter)
+			f()
+		}()
+	}
+	switch phase {
+	case "loss":
+		plan.SetLoss(socketLossProb)
+	case "delay":
+		plan.SetDelay(socketDelayProb, socketDelayMin, socketDelayMax)
+	case "partition":
+		var side []transport.PeerID
+		for i, m := range members {
+			if i%socketPartFrac == 0 && !departed[m.ID().Key()] {
+				side = append(side, rekeyd.PeerOf(m.ID()))
+			}
+		}
+		plan.Partition(side)
+		healAt(plan.HealPartition)
+	case "kill":
+		killed := 0
+		for _, i := range run.rng.Perm(len(members)) {
+			if killed == socketKillCount {
+				break
+			}
+			id := members[i].ID()
+			if departed[id.Key()] {
+				continue
+			}
+			w.Kill(id)
+			killed++
+			stats.Kills++
+			healAt(func() { w.Restore(id) })
+		}
+	}
+
+	res, err := w.Rekey()
+	if err != nil {
+		return fmt.Errorf("chaos: socket rekey: %w", err)
+	}
+	run.res = res
+	heal.Wait()
+	plan.SetLoss(0)
+	plan.SetDelay(0, 0, 0)
+
+	// Mirror the interval's realized churn.
+	for _, id := range run.departed {
+		if err := run.mirror.leave(id); err != nil {
+			return fmt.Errorf("chaos: socket mirror leave: %w", err)
+		}
+	}
+	if err := run.mirrorJoinCurrent(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// mirrorJoinCurrent feeds the mirror every directory member it does not
+// know yet, with the directory's own records (IDs and join times), in
+// deterministic order.
+func (run *socketRun) mirrorJoinCurrent() error {
+	var recs []overlay.Record
+	run.w.Shared().Read(func(dir *overlay.Directory) {
+		for _, id := range dir.IDs() {
+			if run.mirror.has(id.Key()) {
+				continue
+			}
+			if rec, ok := dir.Record(id); ok {
+				recs = append(recs, rec)
+			}
+		}
+	})
+	// Feed in join order: the mirror elects the most senior member per
+	// cluster, so insertion order must reproduce the directory's
+	// JoinTime seniority (IDs only break ties).
+	sort.Slice(recs, func(i, j int) bool {
+		if recs[i].JoinTime != recs[j].JoinTime {
+			return recs[i].JoinTime < recs[j].JoinTime
+		}
+		return recs[i].ID.Compare(recs[j].ID) < 0
+	})
+	for _, rec := range recs {
+		if err := run.mirror.join(rec); err != nil {
+			return fmt.Errorf("chaos: socket mirror join %v: %w", rec.ID, err)
+		}
+	}
+	return nil
+}

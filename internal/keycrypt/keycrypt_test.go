@@ -225,7 +225,7 @@ func TestWrapperMatchesWrapSeeded(t *testing.T) {
 		kek := DeriveKey([]byte{byte(i)}, "kek")
 		nk := DeriveKey([]byte{byte(i)}, "new")
 		kekID := mustPrefix(t, ident.Digit(i%4), ident.Digit(i%3))
-		keyID := mustPrefix(t, ident.Digit(i % 4))
+		keyID := mustPrefix(t, ident.Digit(i%4))
 		version := uint64(i * 7)
 		context := uint64(i % 5)
 		want, err := WrapSeeded(kek, kekID, nk, keyID, version, seed, context)

@@ -47,9 +47,9 @@ type TraceAudit struct {
 	Interval int
 	Mode     string
 
-	Members   int
-	Survivors int
-	Hops      int
+	Members     int
+	Survivors   int
+	Hops        int
 	DroppedHops int
 	Duplicates  int
 	Unicasts    int
@@ -124,8 +124,8 @@ func parsePrefix(s string) (ident.Prefix, error) {
 // traceState is the grouped raw material of one trace.
 type traceState struct {
 	meta    *Record
-	members []string // user IDs in record order
-	hops    []int    // indices into the record slice
+	members []string        // user IDs in record order
+	hops    []int           // indices into the record slice
 	unicast map[string]bool // user -> delivered by rung 2
 	resync  map[string]bool // user -> delivered by rung 3
 	end     *Record

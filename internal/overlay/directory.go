@@ -337,4 +337,3 @@ func (d *Directory) RepairEntryLive(owner ident.ID, row int, col ident.Digit, al
 	d.refill(t, row, col, alive)
 	return d.maintenanceMessages - before
 }
-

@@ -10,7 +10,6 @@ import (
 	"tmesh/internal/vnet"
 )
 
-
 func TestLadderValidation(t *testing.T) {
 	dir, _, msg, _ := buildWorld(t, 10, 1)
 	sim := eventsim.New()

@@ -1,0 +1,269 @@
+package rekeyd
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"tmesh/internal/ident"
+	"tmesh/internal/overlay"
+	"tmesh/internal/recovery"
+	"tmesh/internal/transport"
+)
+
+func testConfig(kind string, members int) WorldConfig {
+	return WorldConfig{
+		Params:         ident.Params{Digits: 3, Base: 4},
+		K:              2,
+		Seed:           7,
+		InitialMembers: members,
+		Transport:      kind,
+		Ladder: Config{
+			Timeout:      150 * time.Millisecond,
+			RetryBase:    50 * time.Millisecond,
+			RetryMax:     200 * time.Millisecond,
+			RetryBudget:  3,
+			ResyncBudget: 5,
+		},
+	}
+}
+
+// guardGoroutines mirrors the transport test helper: every node,
+// pump, and ladder goroutine must be gone after World.Close.
+func guardGoroutines(t *testing.T) func() {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	return func() {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for runtime.NumGoroutine() > before {
+			if time.Now().After(deadline) {
+				buf := make([]byte, 1<<16)
+				n := runtime.Stack(buf, true)
+				t.Fatalf("goroutine leak: %d before, %d after\n%s", before, runtime.NumGoroutine(), buf[:n])
+			}
+			runtime.GC()
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+}
+
+// assertConverged checks the interval's contract: every surviving
+// member acked, holds the server's group key byte-for-byte, and is at
+// the tree's interval.
+func assertConverged(t *testing.T, w *World, res *Result) {
+	t.Helper()
+	if len(res.DeadInFlight) != 0 {
+		t.Fatalf("interval %d: dead in flight %v", res.Interval, res.DeadInFlight)
+	}
+	if !res.Acked() {
+		t.Fatalf("interval %d: %d/%d acked", res.Interval, len(res.RungOf), res.Expected)
+	}
+	want, ok := w.Tree().GroupKey()
+	if !ok {
+		t.Fatal("tree has no group key")
+	}
+	for _, m := range w.Members() {
+		got, ok := m.GroupKey()
+		if !ok || !got.Equal(want) {
+			t.Fatalf("interval %d: member %v group key mismatch (has key: %v)", res.Interval, m.ID(), ok)
+		}
+		if m.Applied() != w.Tree().Interval() {
+			t.Fatalf("interval %d: member %v applied %d, tree at %d", res.Interval, m.ID(), m.Applied(), w.Tree().Interval())
+		}
+	}
+}
+
+// TestWorldConverges runs several churning intervals on each transport
+// kind and requires full convergence with real keyrings: the group key
+// every member derives by unwrapping its slices must equal the
+// server's, byte for byte.
+func TestWorldConverges(t *testing.T) {
+	for _, kind := range []string{"loopback", "udp", "tcp"} {
+		t.Run(kind, func(t *testing.T) {
+			n := 16
+			if kind == "tcp" {
+				n = 8 // full-mesh eager dialing: keep the link count sane
+			}
+			check := guardGoroutines(t)
+			w, err := NewWorld(testConfig(kind, n))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 3; i++ {
+				if _, err := w.Join(); err != nil {
+					t.Fatal(err)
+				}
+				if i > 0 {
+					if err := w.Leave(w.Members()[0].ID()); err != nil {
+						t.Fatal(err)
+					}
+				}
+				res, err := w.Rekey()
+				if err != nil {
+					t.Fatal(err)
+				}
+				assertConverged(t, w, res)
+			}
+			w.Close()
+			check()
+		})
+	}
+}
+
+// TestKillRestoreMidInterval is the acceptance scenario from the
+// issue: peers are killed before the rekey multicast and restored
+// mid-interval, and every surviving member must still end the interval
+// with the group key — the ladder's unicast/resync rungs carry the
+// restored peers home.
+func TestKillRestoreMidInterval(t *testing.T) {
+	for _, kind := range []string{"loopback", "udp"} {
+		t.Run(kind, func(t *testing.T) {
+			check := guardGoroutines(t)
+			w, err := NewWorld(testConfig(kind, 16))
+			if err != nil {
+				t.Fatal(err)
+			}
+			members := w.Members()
+			victims := []ident.ID{members[2].ID(), members[9].ID()}
+			for _, v := range victims {
+				w.Kill(v)
+			}
+			// Restore mid-ladder: after the multicast timeout but well
+			// inside the resync budget.
+			restored := make(chan struct{})
+			go func() {
+				time.Sleep(300 * time.Millisecond)
+				for _, v := range victims {
+					w.Restore(v)
+				}
+				close(restored)
+			}()
+			if _, err := w.Join(); err != nil {
+				t.Fatal(err)
+			}
+			res, err := w.Rekey()
+			if err != nil {
+				t.Fatal(err)
+			}
+			<-restored
+			assertConverged(t, w, res)
+			// The victims cannot have been reached by plain multicast.
+			rungs := res.Rungs()
+			if rungs[recovery.ByUnicast]+rungs[recovery.ByResync] < 2 {
+				t.Fatalf("killed peers converged without the ladder: %v", rungs)
+			}
+			w.Close()
+			check()
+		})
+	}
+}
+
+// TestCrashEviction: a crashed (permanently killed) peer is evicted at
+// the next interval, excluded from the expected set, and the overlay
+// stays k-consistent for the survivors.
+func TestCrashEviction(t *testing.T) {
+	check := guardGoroutines(t)
+	w, err := NewWorld(testConfig("loopback", 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := w.Members()[5].ID()
+	if err := w.Crash(victim); err != nil {
+		t.Fatal(err)
+	}
+	res, err := w.Rekey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, stillThere := w.Member(victim); stillThere {
+		t.Fatal("crashed member still present after rekey")
+	}
+	for k := range res.RungOf {
+		if k == victim.Key() {
+			t.Fatal("crashed member in the expected/acked set")
+		}
+	}
+	assertConverged(t, w, res)
+	var consistency error
+	w.Shared().Read(func(dir *overlay.Directory) { consistency = dir.CheckConsistency() })
+	if consistency != nil {
+		t.Fatalf("overlay inconsistent after eviction: %v", consistency)
+	}
+	w.Close()
+	check()
+}
+
+// TestStalledPeerBoundsInterval: a member that keeps its transport
+// alive but never acks (protocol-level stall — the byte-level write
+// deadline twin lives in transport's TestTCPStalledPeerCannotWedge)
+// cannot wedge the interval. Distribute terminates within the ladder
+// budget, reports the stalled peer dead-in-flight, and every other
+// member converges.
+func TestStalledPeerBoundsInterval(t *testing.T) {
+	check := guardGoroutines(t)
+	cfg := testConfig("tcp", 8)
+	w, err := NewWorld(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := w.Members()[3]
+	// The stall: frames are read off the socket and dropped on the
+	// floor. The node stays connected; it just never answers.
+	victim.tr.SetHandler(func(transport.PeerID, []byte) {})
+
+	if _, err := w.Join(); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	res, err := w.Rekey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+
+	// Ladder budget: Timeout + Σ min(Base<<(n-1), Max) + Resync·Max,
+	// with scheduling slack.
+	l := cfg.Ladder
+	budget := l.Timeout + (50+100+200)*time.Millisecond + time.Duration(l.ResyncBudget)*l.RetryMax + 5*time.Second
+	if elapsed > budget {
+		t.Fatalf("Distribute took %v, budget %v — stalled peer wedged the interval", elapsed, budget)
+	}
+	if len(res.DeadInFlight) != 1 || !res.DeadInFlight[0].Equal(victim.ID()) {
+		t.Fatalf("DeadInFlight = %v, want exactly the stalled %v", res.DeadInFlight, victim.ID())
+	}
+	if res.MaxBackoff != l.RetryMax {
+		t.Fatalf("MaxBackoff = %v, want the saturated %v", res.MaxBackoff, l.RetryMax)
+	}
+	want, _ := w.Tree().GroupKey()
+	for _, m := range w.Members() {
+		if m.ID().Equal(victim.ID()) {
+			continue
+		}
+		if got, ok := m.GroupKey(); !ok || !got.Equal(want) {
+			t.Fatalf("member %v did not converge while %v stalled", m.ID(), victim.ID())
+		}
+	}
+	w.Close()
+	check()
+}
+
+// TestLadderBackoffSchedule pins the daemon ladder's spacing to the
+// same min(RetryBase<<(n-1), RetryMax) shape the simulator ladder and
+// the transport redial loop use, including the shift-overflow guard —
+// three layers, one schedule, no compounding surprises.
+func TestLadderBackoffSchedule(t *testing.T) {
+	c := Config{Params: ident.Params{Digits: 2, Base: 4}, RetryBase: 50 * time.Millisecond, RetryMax: 400 * time.Millisecond}
+	if err := c.fill(); err != nil {
+		t.Fatal(err)
+	}
+	want := []time.Duration{50, 100, 200, 400, 400}
+	for i, ms := range want {
+		if got := c.backoff(i + 1); got != ms*time.Millisecond {
+			t.Fatalf("backoff(%d) = %v, want %v", i+1, got, ms*time.Millisecond)
+		}
+	}
+	if got := c.backoff(500); got != c.RetryMax {
+		t.Fatalf("backoff(500) = %v, want RetryMax (overflow guard)", got)
+	}
+}

@@ -1,0 +1,458 @@
+package rekeyd
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"tmesh/internal/ident"
+	"tmesh/internal/keytree"
+	"tmesh/internal/obs"
+	"tmesh/internal/overlay"
+	"tmesh/internal/transport"
+	"tmesh/internal/vnet"
+)
+
+// WorldConfig assembles a full daemon world: one key server plus many
+// in-process member nodes over a chosen transport kind.
+type WorldConfig struct {
+	Params ident.Params
+	K      int
+	Seed   int64
+	// InitialMembers joins before the first interval.
+	InitialMembers int
+	// Transport picks the fabric: "loopback", "udp", or "tcp".
+	Transport string
+	// Listen is the bind address for socket transports (udp, tcp).
+	// Every node binds its own socket, so the port should be 0
+	// (ephemeral). Empty means 127.0.0.1:0.
+	Listen string
+	// Ladder tunes the server's delivery ladder (Params is overridden
+	// from this config).
+	Ladder Config
+	// Queue bounds every endpoint's send queue; 0 means the transport
+	// default.
+	Queue int
+	// HostBudget is the extra host headroom for joins beyond the
+	// initial membership; 0 means 256.
+	HostBudget int
+	// RekeyParallelism sizes Regenerate's fan-out; 0 means 4.
+	RekeyParallelism int
+	// Topology shapes the GT-ITM graph behind the RTT-ordered neighbor
+	// tables. The zero value picks a small soak topology.
+	Topology vnet.GTITMConfig
+	// Obs receives node and ladder counters (nil-safe).
+	Obs *obs.Registry
+}
+
+func (c *WorldConfig) fill() error {
+	if err := c.Params.Validate(); err != nil {
+		return err
+	}
+	if c.K < 1 {
+		c.K = 3
+	}
+	if c.InitialMembers < 1 {
+		return fmt.Errorf("rekeyd: need at least one initial member")
+	}
+	switch c.Transport {
+	case "loopback", "udp", "tcp":
+	case "":
+		c.Transport = "loopback"
+	default:
+		return fmt.Errorf("rekeyd: unknown transport %q (want loopback, udp, or tcp)", c.Transport)
+	}
+	if c.Listen == "" {
+		c.Listen = "127.0.0.1:0"
+	}
+	if c.HostBudget <= 0 {
+		c.HostBudget = 256
+	}
+	if c.RekeyParallelism <= 0 {
+		c.RekeyParallelism = 4
+	}
+	if c.Topology.TotalRouters == 0 {
+		c.Topology = vnet.GTITMConfig{
+			TransitDomains:   2,
+			TransitPerDomain: 2,
+			StubsPerTransit:  2,
+			TotalRouters:     120,
+			TotalLinks:       300,
+			AccessDelayMin:   time.Millisecond,
+			AccessDelayMax:   3 * time.Millisecond,
+		}
+	}
+	c.Ladder.Params = c.Params
+	c.Ladder.Obs = c.Obs
+	return nil
+}
+
+// World owns a running daemon: the shared directory and key tree, the
+// server node, every member node, and the fault plan threaded through
+// all their transports. The driver methods (Join, Leave, Crash, Kill,
+// Restore, Rekey) are single-goroutine: call them from one place while
+// the nodes churn concurrently underneath.
+type World struct {
+	cfg  WorldConfig
+	sh   *Shared
+	tree *keytree.Tree
+	srv  *Server
+	sw   *transport.Switch
+	plan *transport.FaultPlan
+
+	members map[string]*Member
+	addrs   map[string]string // member key -> locator
+
+	killMu sync.Mutex
+	killed map[string]bool // temporarily killed (fault plan)
+
+	pendingJoins  []overlay.Record
+	pendingLeaves []ident.ID
+	pendingEvicts []ident.ID
+
+	freeHosts []vnet.HostID
+	idRNG     *rand.Rand
+	joinSeq   int64
+}
+
+// NewWorld builds the topology, directory, tree, server, and the
+// initial membership, then runs interval 1 so every node starts with
+// installed keys.
+func NewWorld(cfg WorldConfig) (*World, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	totalHosts := 1 + cfg.InitialMembers + cfg.HostBudget
+	top, err := vnet.NewGTITM(cfg.Topology, totalHosts, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	dir, err := overlay.NewDirectory(cfg.Params, cfg.K, top, 0)
+	if err != nil {
+		return nil, err
+	}
+	tree, err := keytree.New(cfg.Params, []byte(fmt.Sprintf("rekeyd-%d", cfg.Seed)), keytree.Opts{RealCrypto: true, Obs: cfg.Obs})
+	if err != nil {
+		return nil, err
+	}
+	w := &World{
+		cfg:     cfg,
+		sh:      NewShared(dir),
+		tree:    tree,
+		sw:      transport.NewSwitch(),
+		plan:    transport.NewFaultPlan(cfg.Seed),
+		members: make(map[string]*Member),
+		addrs:   make(map[string]string),
+		killed:  make(map[string]bool),
+		idRNG:   rand.New(rand.NewSource(cfg.Seed ^ 0x696473)), // "ids"
+	}
+	for h := 1; h < totalHosts; h++ {
+		w.freeHosts = append(w.freeHosts, vnet.HostID(h))
+	}
+	w.sh.SetAlive(func(id ident.ID) bool {
+		return !w.plan.Killed(PeerOf(id))
+	})
+
+	srvTr, err := w.newEndpoint(transport.ServerID)
+	if err != nil {
+		return nil, err
+	}
+	srv, err := NewServer(cfg.Ladder, srvTr, w.sh, tree)
+	if err != nil {
+		srvTr.Close()
+		return nil, err
+	}
+	w.srv = srv
+	w.addrs[string(transport.ServerID)] = srvTr.Addr()
+
+	for i := 0; i < cfg.InitialMembers; i++ {
+		if _, err := w.Join(); err != nil {
+			w.Close()
+			return nil, err
+		}
+	}
+	if _, err := w.Rekey(); err != nil {
+		w.Close()
+		return nil, err
+	}
+	return w, nil
+}
+
+// newEndpoint builds one transport endpoint of the configured kind,
+// wrapped in the shared fault plan.
+func (w *World) newEndpoint(id transport.PeerID) (transport.Transport, error) {
+	cfg := transport.Config{ID: id, Queue: w.cfg.Queue, Obs: w.cfg.Obs, Faults: w.plan}
+	var inner transport.Transport
+	var err error
+	switch w.cfg.Transport {
+	case "loopback":
+		inner, err = transport.NewLoopback(w.sw, cfg)
+	case "udp":
+		inner, err = transport.NewUDP(w.cfg.Listen, cfg)
+	case "tcp":
+		inner, err = transport.NewTCP(w.cfg.Listen, cfg)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return transport.WithFaults(inner, w.plan, w.cfg.Obs), nil
+}
+
+// FaultPlan exposes the shared fault schedule for chaos drivers.
+func (w *World) FaultPlan() *transport.FaultPlan { return w.plan }
+
+// Shared exposes the node-shared state (directory access for audits).
+func (w *World) Shared() *Shared { return w.sh }
+
+// Tree exposes the server key tree (audits read GroupKey/Interval).
+func (w *World) Tree() *keytree.Tree { return w.tree }
+
+// Server exposes the server node.
+func (w *World) Server() *Server { return w.srv }
+
+// Members returns the live member nodes sorted by ID.
+func (w *World) Members() []*Member {
+	out := make([]*Member, 0, len(w.members))
+	for _, m := range w.members {
+		out = append(out, m)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].id.Compare(out[j].id) < 0 })
+	return out
+}
+
+// Member returns a node by ID.
+func (w *World) Member(id ident.ID) (*Member, bool) {
+	m, ok := w.members[id.Key()]
+	return m, ok
+}
+
+// Size returns the current member count (pending churn excluded).
+func (w *World) Size() int { return len(w.members) }
+
+func (w *World) freeID() (ident.ID, error) {
+	cap := w.cfg.Params.Capacity()
+	for tries := 0; tries < 64*cap; tries++ {
+		id, err := ident.FromInt(w.cfg.Params, w.idRNG.Intn(cap))
+		if err != nil {
+			return ident.ID{}, err
+		}
+		key := id.Key()
+		if _, taken := w.members[key]; taken {
+			continue
+		}
+		pendingTaken := false
+		for _, rec := range w.pendingJoins {
+			if rec.ID.Key() == key {
+				pendingTaken = true
+				break
+			}
+		}
+		if !pendingTaken {
+			return id, nil
+		}
+	}
+	return ident.ID{}, fmt.Errorf("rekeyd: ID space exhausted")
+}
+
+// Join schedules a new member for the next Rekey and returns its ID.
+func (w *World) Join() (ident.ID, error) {
+	if len(w.freeHosts) == 0 {
+		return ident.ID{}, fmt.Errorf("rekeyd: host budget exhausted")
+	}
+	id, err := w.freeID()
+	if err != nil {
+		return ident.ID{}, err
+	}
+	w.joinSeq++
+	rec := overlay.Record{Host: w.freeHosts[0], ID: id, JoinTime: time.Duration(w.joinSeq)}
+	w.freeHosts = w.freeHosts[1:]
+	w.pendingJoins = append(w.pendingJoins, rec)
+	return id, nil
+}
+
+// Leave schedules a graceful departure for the next Rekey.
+func (w *World) Leave(id ident.ID) error {
+	if _, ok := w.members[id.Key()]; !ok {
+		return fmt.Errorf("rekeyd: %v is not a member", id)
+	}
+	w.pendingLeaves = append(w.pendingLeaves, id)
+	return nil
+}
+
+// Crash kills a member immediately (frames to and from it drop) and
+// schedules its eviction at the next Rekey — the failover path.
+func (w *World) Crash(id ident.ID) error {
+	if _, ok := w.members[id.Key()]; !ok {
+		return fmt.Errorf("rekeyd: %v is not a member", id)
+	}
+	w.plan.Kill(PeerOf(id))
+	w.pendingEvicts = append(w.pendingEvicts, id)
+	return nil
+}
+
+// Kill cuts a member's traffic without evicting it — a transient
+// outage the recovery ladder must ride out once Restore is called.
+// Unlike the other driver methods it may be called from a second
+// goroutine — killing and restoring peers mid-interval, while Rekey's
+// ladder is in flight, is exactly the acceptance scenario.
+func (w *World) Kill(id ident.ID) {
+	w.plan.Kill(PeerOf(id))
+	w.killMu.Lock()
+	w.killed[id.Key()] = true
+	w.killMu.Unlock()
+}
+
+// Restore lifts a Kill. Safe to call concurrently with Rekey, like Kill.
+func (w *World) Restore(id ident.ID) {
+	w.plan.Restore(PeerOf(id))
+	w.killMu.Lock()
+	delete(w.killed, id.Key())
+	w.killMu.Unlock()
+}
+
+// IsKilled reports whether a member is currently dark (killed or
+// crashed-and-unreaped). It consults the mutex-guarded fault plan —
+// the same oracle the directory's liveness checks use — so auditors
+// may call it while a ladder is in flight.
+func (w *World) IsKilled(id ident.ID) bool { return w.plan.Killed(PeerOf(id)) }
+
+// addMember spins up the node for a directory record: endpoint, path
+// keys from the (already regenerated) tree, full-mesh peer exchange.
+func (w *World) addMember(rec overlay.Record, appliedInterval uint64) error {
+	path, err := w.tree.PathKeys(rec.ID)
+	if err != nil {
+		return err
+	}
+	kr, err := keytree.NewKeyring(w.cfg.Params, rec.ID, path)
+	if err != nil {
+		return err
+	}
+	tr, err := w.newEndpoint(PeerOf(rec.ID))
+	if err != nil {
+		return err
+	}
+	key := rec.ID.Key()
+	// Peer exchange: the newcomer learns everyone, everyone learns the
+	// newcomer. (IDs route; these locators are just where they live.)
+	if err := tr.AddPeer(transport.ServerID, w.addrs[string(transport.ServerID)]); err != nil {
+		tr.Close()
+		return err
+	}
+	w.srv.tr.AddPeer(PeerOf(rec.ID), tr.Addr())
+	for k, m := range w.members {
+		tr.AddPeer(transport.PeerID(k), w.addrs[k])
+		m.tr.AddPeer(PeerOf(rec.ID), tr.Addr())
+	}
+	w.addrs[key] = tr.Addr()
+	w.members[key] = NewMember(rec.ID, w.cfg.Params, tr, w.sh, kr, appliedInterval, w.cfg.Obs)
+	return nil
+}
+
+// dropMember tears a node down and unregisters it everywhere.
+func (w *World) dropMember(id ident.ID) {
+	key := id.Key()
+	m, ok := w.members[key]
+	if !ok {
+		return
+	}
+	delete(w.members, key)
+	delete(w.addrs, key)
+	w.killMu.Lock()
+	delete(w.killed, key)
+	w.killMu.Unlock()
+	// Lift any standing Kill: the peer ID dies with the member, and a
+	// future joiner that happens to draw the same ID must not inherit
+	// the blackout.
+	w.plan.Restore(PeerOf(id))
+	m.Close()
+	w.srv.tr.RemovePeer(PeerOf(id))
+	for _, o := range w.members {
+		o.tr.RemovePeer(PeerOf(id))
+	}
+}
+
+// Rekey integrates the pending churn (joins, leaves, crash evictions),
+// regenerates the key tree, brings up joiner nodes with their path
+// keys (the reliable join unicast), and distributes the interval's
+// message to every member over the transport, ladder included.
+func (w *World) Rekey() (*Result, error) {
+	joins := make([]ident.ID, 0, len(w.pendingJoins))
+	leaves := make([]ident.ID, 0, len(w.pendingLeaves)+len(w.pendingEvicts))
+
+	w.sh.Write(func(dir *overlay.Directory) {
+		for _, rec := range w.pendingJoins {
+			if err := dir.Join(rec); err == nil {
+				joins = append(joins, rec.ID)
+			}
+		}
+		for _, id := range w.pendingLeaves {
+			if err := dir.Leave(id); err == nil {
+				leaves = append(leaves, id)
+			}
+		}
+		for _, id := range w.pendingEvicts {
+			if err := dir.Evict(id); err != nil {
+				continue
+			}
+			leaves = append(leaves, id)
+			// Evict leaves the dead user in surviving owners' neighbor
+			// tables on purpose (each owner's failure detector is the
+			// one that notices); the world plays that detection step
+			// here so the directory is k-consistent again before the
+			// interval's forwarding reads it.
+			for _, owner := range dir.IDs() {
+				if row, col, ok := dir.RemoveNeighbor(owner, id); ok {
+					dir.RepairEntryLive(owner, row, col, w.sh.alive)
+				}
+			}
+		}
+	})
+	for _, id := range w.pendingLeaves {
+		w.dropMember(id)
+	}
+	for _, id := range w.pendingEvicts {
+		w.dropMember(id)
+	}
+	joinRecs := w.pendingJoins
+	w.pendingJoins, w.pendingLeaves, w.pendingEvicts = nil, nil, nil
+
+	sort.Slice(joins, func(i, j int) bool { return joins[i].Compare(joins[j]) < 0 })
+	sort.Slice(leaves, func(i, j int) bool { return leaves[i].Compare(leaves[j]) < 0 })
+	plan, err := w.tree.Mark(joins, leaves)
+	if err != nil {
+		return nil, err
+	}
+	msg, err := w.tree.Regenerate(plan, w.cfg.RekeyParallelism)
+	if err != nil {
+		return nil, err
+	}
+
+	// Joiners get interval-i keys out of band; the interval-i message
+	// wraps new keys under old ones they never held, so they start at
+	// appliedInterval = msg.Interval and simply re-ack their copies.
+	for _, rec := range joinRecs {
+		if err := w.addMember(rec, msg.Interval); err != nil {
+			return nil, err
+		}
+	}
+
+	expected := make([]ident.ID, 0, len(w.members))
+	for _, m := range w.Members() {
+		expected = append(expected, m.id)
+	}
+	return w.srv.Distribute(msg, expected)
+}
+
+// Close tears down every node. Safe to call twice.
+func (w *World) Close() error {
+	for _, m := range w.members {
+		m.Close()
+	}
+	w.members = make(map[string]*Member)
+	if w.srv != nil {
+		w.srv.Close()
+	}
+	return nil
+}

@@ -226,7 +226,7 @@ func (w *walker[T]) materialize(rel []uint64) []T {
 		w.arena = make([]T, 0, size)
 	}
 	off := len(w.arena)
-	sel := w.arena[off:off:off+n]
+	sel := w.arena[off : off : off+n]
 	for wi, word := range rel {
 		base := wi << 6
 		// Relevant items are usually contiguous in message order (keys

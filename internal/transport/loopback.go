@@ -1,0 +1,245 @@
+package transport
+
+import (
+	"sync"
+)
+
+// Switch is the in-process loopback fabric: a registry of endpoints
+// keyed by PeerID. It preserves the Transport contract exactly — the
+// same envelope bytes, the same bounded-queue overflow accounting, a
+// real goroutine pump per endpoint — so protocol code tested on the
+// switch moves to UDP/TCP without change, and the faulty wrapper can
+// inject loss/partition between endpoints that share a process.
+type Switch struct {
+	mu        sync.RWMutex
+	endpoints map[PeerID]*Loopback
+}
+
+// NewSwitch creates an empty loopback fabric.
+func NewSwitch() *Switch {
+	return &Switch{endpoints: make(map[PeerID]*Loopback)}
+}
+
+func (s *Switch) attach(l *Loopback) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.endpoints[l.id]; ok {
+		return ErrDuplicatePeer
+	}
+	s.endpoints[l.id] = l
+	return nil
+}
+
+func (s *Switch) detach(id PeerID) {
+	s.mu.Lock()
+	delete(s.endpoints, id)
+	s.mu.Unlock()
+}
+
+func (s *Switch) lookup(id PeerID) *Loopback {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.endpoints[id]
+}
+
+// Loopback is one endpoint on a Switch. Frames enqueue into the
+// *receiver's* bounded inbox (so a slow receiver overflows its own
+// queue, mirroring a full socket buffer) and a single pump goroutine
+// drains the inbox into the handler.
+type Loopback struct {
+	id      PeerID
+	sw      *Switch
+	handler handlerCell
+	ctr     counters
+
+	mu     sync.RWMutex
+	peers  map[PeerID]*peerStats
+	closed bool
+
+	inbox chan loopFrame
+	done  chan struct{}
+	wg    sync.WaitGroup
+}
+
+type loopFrame struct {
+	from    PeerID
+	payload []byte
+}
+
+// NewLoopback attaches a new endpoint to the switch.
+func NewLoopback(sw *Switch, cfg Config) (*Loopback, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	l := &Loopback{
+		id:    cfg.ID,
+		sw:    sw,
+		ctr:   newCounters(cfg.Obs),
+		peers: make(map[PeerID]*peerStats),
+		inbox: make(chan loopFrame, cfg.Queue),
+		done:  make(chan struct{}),
+	}
+	if err := sw.attach(l); err != nil {
+		return nil, err
+	}
+	l.wg.Add(1)
+	go l.pump()
+	return l, nil
+}
+
+func (l *Loopback) pump() {
+	defer l.wg.Done()
+	for {
+		select {
+		case <-l.done:
+			return
+		case f := <-l.inbox:
+			sender, payload, err := decodeEnvelope(f.payload)
+			if err != nil {
+				l.ctr.dropped.Inc()
+				continue
+			}
+			h := l.handler.get()
+			if h == nil {
+				l.ctr.dropped.Inc()
+				continue
+			}
+			l.mu.RLock()
+			ps := l.peers[sender]
+			l.mu.RUnlock()
+			if ps != nil {
+				ps.received.Add(1)
+			}
+			l.ctr.received.Inc()
+			h(sender, payload)
+		}
+	}
+}
+
+// deliver enqueues an envelope into this endpoint's inbox; false means
+// the inbox was full or the endpoint closed (the sender accounts it).
+func (l *Loopback) deliver(f loopFrame) bool {
+	select {
+	case <-l.done:
+		return false
+	default:
+	}
+	select {
+	case l.inbox <- f:
+		return true
+	default:
+		return false
+	}
+}
+
+// ID implements Transport.
+func (l *Loopback) ID() PeerID { return l.id }
+
+// Addr implements Transport: on the switch, the identity is the
+// locator.
+func (l *Loopback) Addr() string { return string(l.id) }
+
+// AddPeer implements Transport. The addr is recorded for Status but
+// routing goes through the switch by ID.
+func (l *Loopback) AddPeer(id PeerID, addr string) error {
+	if len(id) == 0 || len(id) > MaxPeerID {
+		return ErrUnknownPeer
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	if _, ok := l.peers[id]; !ok {
+		ps := &peerStats{}
+		ps.state.Store(int32(StateUp))
+		l.peers[id] = ps
+	}
+	return nil
+}
+
+// RemovePeer implements Transport.
+func (l *Loopback) RemovePeer(id PeerID) {
+	l.mu.Lock()
+	if ps, ok := l.peers[id]; ok {
+		ps.state.Store(int32(StateClosed))
+		delete(l.peers, id)
+	}
+	l.mu.Unlock()
+}
+
+// Send implements Transport.
+func (l *Loopback) Send(to PeerID, frame []byte) error {
+	if len(frame) > MaxFrame {
+		return ErrFrameTooBig
+	}
+	l.mu.RLock()
+	ps, known := l.peers[to]
+	closed := l.closed
+	l.mu.RUnlock()
+	if closed {
+		return ErrClosed
+	}
+	if !known {
+		return ErrUnknownPeer
+	}
+	dst := l.sw.lookup(to)
+	if dst == nil {
+		// Registered but not attached (peer killed): the frame is
+		// dropped with accounting, like a datagram to a dead host.
+		ps.dropped.Add(1)
+		l.ctr.dropped.Inc()
+		ps.state.Store(int32(StateDown))
+		return nil
+	}
+	env := encodeEnvelope(l.id, frame)
+	if !dst.deliver(loopFrame{from: l.id, payload: env}) {
+		ps.overflows.Add(1)
+		l.ctr.overflow.Inc()
+		return ErrQueueFull
+	}
+	ps.sent.Add(1)
+	ps.state.Store(int32(StateUp))
+	l.ctr.sent.Inc()
+	return nil
+}
+
+// SetHandler implements Transport.
+func (l *Loopback) SetHandler(h Handler) { l.handler.set(h) }
+
+// Status implements Transport.
+func (l *Loopback) Status(id PeerID) (Status, bool) {
+	l.mu.RLock()
+	ps, ok := l.peers[id]
+	l.mu.RUnlock()
+	if !ok {
+		return Status{}, false
+	}
+	return ps.status(string(id)), true
+}
+
+// Close implements Transport: detaches from the switch and stops the
+// pump. Frames still queued in the inbox are dropped with accounting.
+func (l *Loopback) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	l.closed = true
+	for _, ps := range l.peers {
+		ps.state.Store(int32(StateClosed))
+	}
+	l.mu.Unlock()
+	l.sw.detach(l.id)
+	close(l.done)
+	l.wg.Wait()
+	for {
+		select {
+		case <-l.inbox:
+			l.ctr.dropped.Inc()
+		default:
+			return nil
+		}
+	}
+}

@@ -1,0 +1,400 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// netConn is the slice of net.Conn the TCP transport actually uses;
+// tests inject in-memory pipes and deliberately stalled conns through
+// Config.Dial.
+type netConn interface {
+	io.ReadWriteCloser
+	SetReadDeadline(t time.Time) error
+	SetWriteDeadline(t time.Time) error
+}
+
+func defaultDial(addr string, timeout time.Duration) (netConn, error) {
+	c, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	return c.(netConn), nil
+}
+
+// TCP is the stream transport. Connections are asymmetric by design:
+// this endpoint *writes* only on connections it dialed (one per peer,
+// owned by that peer's link goroutine) and *reads* only on connections
+// peers dialed to it (one read pump per accepted conn). Identity still
+// travels in-band in every envelope, so the accept side never needs to
+// map a remote address back to a PeerID.
+//
+// Each link runs the redial state machine:
+//
+//	Down ──AddPeer──▶ Dialing ──ok──▶ Up
+//	                     │fail            │write error / reset
+//	                     ▼                ▼
+//	                 Redialing ◀──────────┘
+//	                     │ wait min(Base<<(n-1), Max) ± jitter, redial
+//	                     └──ok──▶ Up   (failure count resets)
+//
+// The backoff waits go through the injectable Clock, so tests pin the
+// exact schedule. A write error never retransmits the frame — it is
+// dropped with accounting and the *connection* is retried, keeping
+// transport retries and recovery-ladder retries from compounding.
+type TCP struct {
+	cfg      Config
+	listener net.Listener
+	handler  handlerCell
+	ctr      counters
+	dial     DialFunc
+
+	mu     sync.RWMutex
+	links  map[PeerID]*tcpLink
+	closed bool
+
+	acceptMu sync.Mutex
+	accepted map[net.Conn]struct{}
+
+	done chan struct{}
+	wg   sync.WaitGroup
+}
+
+type tcpLink struct {
+	t     *TCP
+	id    PeerID
+	addr  string
+	stats peerStats
+	queue chan []byte // encoded envelopes
+	stop  chan struct{}
+	wg    sync.WaitGroup
+}
+
+// NewTCP binds a listener on listenAddr and starts the accept loop.
+func NewTCP(listenAddr string, cfg Config) (*TCP, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", listenAddr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen tcp %q: %w", listenAddr, err)
+	}
+	t := &TCP{
+		cfg:      cfg,
+		listener: ln,
+		ctr:      newCounters(cfg.Obs),
+		dial:     cfg.Dial,
+		links:    make(map[PeerID]*tcpLink),
+		accepted: make(map[net.Conn]struct{}),
+		done:     make(chan struct{}),
+	}
+	if t.dial == nil {
+		t.dial = defaultDial
+	}
+	t.wg.Add(1)
+	go t.acceptLoop()
+	return t, nil
+}
+
+func (t *TCP) acceptLoop() {
+	defer t.wg.Done()
+	for {
+		conn, err := t.listener.Accept()
+		if err != nil {
+			select {
+			case <-t.done:
+				return
+			default:
+			}
+			if errors.Is(err, net.ErrClosed) {
+				return
+			}
+			continue
+		}
+		t.acceptMu.Lock()
+		t.accepted[conn] = struct{}{}
+		t.acceptMu.Unlock()
+		t.wg.Add(1)
+		go t.readPump(conn)
+	}
+}
+
+// readPump drains one accepted connection: 4-byte length, envelope,
+// dispatch. Any framing violation or idle timeout closes the conn —
+// the dialer on the far side owns reestablishment.
+func (t *TCP) readPump(conn net.Conn) {
+	defer t.wg.Done()
+	defer func() {
+		conn.Close()
+		t.acceptMu.Lock()
+		delete(t.accepted, conn)
+		t.acceptMu.Unlock()
+	}()
+	hdr := make([]byte, 4)
+	for {
+		conn.SetReadDeadline(time.Now().Add(t.cfg.ReadIdle))
+		if _, err := io.ReadFull(conn, hdr); err != nil {
+			return
+		}
+		n, err := streamFrameLen(hdr)
+		if err != nil {
+			t.ctr.dropped.Inc()
+			return
+		}
+		env := make([]byte, n)
+		conn.SetReadDeadline(time.Now().Add(t.cfg.ReadIdle))
+		if _, err := io.ReadFull(conn, env); err != nil {
+			return
+		}
+		sender, payload, derr := decodeEnvelope(env)
+		if derr != nil || len(payload) > MaxFrame {
+			t.ctr.dropped.Inc()
+			return
+		}
+		h := t.handler.get()
+		if h == nil {
+			t.ctr.dropped.Inc()
+			continue
+		}
+		t.mu.RLock()
+		l := t.links[sender]
+		t.mu.RUnlock()
+		if l != nil {
+			l.stats.received.Add(1)
+		}
+		t.ctr.received.Inc()
+		h(sender, payload)
+	}
+}
+
+// ID implements Transport.
+func (t *TCP) ID() PeerID { return t.cfg.ID }
+
+// Addr implements Transport: the bound listener address.
+func (t *TCP) Addr() string { return t.listener.Addr().String() }
+
+// AddPeer implements Transport: registers the peer and starts its link
+// goroutine, which dials eagerly and redials forever with backoff.
+func (t *TCP) AddPeer(id PeerID, addr string) error {
+	if len(id) == 0 || len(id) > MaxPeerID {
+		return ErrUnknownPeer
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return ErrClosed
+	}
+	if old, ok := t.links[id]; ok {
+		if old.addr == addr {
+			return nil
+		}
+		old.shutdown()
+		delete(t.links, id)
+	}
+	l := &tcpLink{
+		t:     t,
+		id:    id,
+		addr:  addr,
+		queue: make(chan []byte, t.cfg.Queue),
+		stop:  make(chan struct{}),
+	}
+	l.stats.state.Store(int32(StateDown))
+	t.links[id] = l
+	l.wg.Add(1)
+	go l.run()
+	return nil
+}
+
+// RemovePeer implements Transport.
+func (t *TCP) RemovePeer(id PeerID) {
+	t.mu.Lock()
+	l, ok := t.links[id]
+	if ok {
+		delete(t.links, id)
+	}
+	t.mu.Unlock()
+	if ok {
+		l.shutdown()
+	}
+}
+
+// Send implements Transport: enqueues onto the peer link's bounded
+// queue. The link goroutine owns the socket; a down link still accepts
+// queued frames until the queue fills (they flush on reconnect).
+func (t *TCP) Send(to PeerID, frame []byte) error {
+	if len(frame) > MaxFrame {
+		return ErrFrameTooBig
+	}
+	t.mu.RLock()
+	l, known := t.links[to]
+	closed := t.closed
+	t.mu.RUnlock()
+	if closed {
+		return ErrClosed
+	}
+	if !known {
+		return ErrUnknownPeer
+	}
+	env := encodeEnvelope(t.cfg.ID, frame)
+	select {
+	case l.queue <- env:
+		return nil
+	default:
+		l.stats.overflows.Add(1)
+		t.ctr.overflow.Inc()
+		return ErrQueueFull
+	}
+}
+
+// SetHandler implements Transport.
+func (t *TCP) SetHandler(h Handler) { t.handler.set(h) }
+
+// Status implements Transport.
+func (t *TCP) Status(id PeerID) (Status, bool) {
+	t.mu.RLock()
+	l, ok := t.links[id]
+	t.mu.RUnlock()
+	if !ok {
+		return Status{}, false
+	}
+	return l.stats.status(l.addr), true
+}
+
+// Close implements Transport: stops the accept loop, every read pump,
+// and every link goroutine before returning.
+func (t *TCP) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	links := make([]*tcpLink, 0, len(t.links))
+	for _, l := range t.links {
+		links = append(links, l)
+	}
+	t.links = make(map[PeerID]*tcpLink)
+	t.mu.Unlock()
+
+	close(t.done)
+	t.listener.Close()
+	t.acceptMu.Lock()
+	for conn := range t.accepted {
+		conn.Close()
+	}
+	t.acceptMu.Unlock()
+	for _, l := range links {
+		l.shutdown()
+	}
+	t.wg.Wait()
+	return nil
+}
+
+// shutdown stops a link goroutine and waits for it; queued frames are
+// dropped with accounting.
+func (l *tcpLink) shutdown() {
+	close(l.stop)
+	l.wg.Wait()
+	for {
+		select {
+		case <-l.queue:
+			l.stats.dropped.Add(1)
+			l.t.ctr.dropped.Inc()
+		default:
+			l.stats.state.Store(int32(StateClosed))
+			return
+		}
+	}
+}
+
+// run is the link goroutine: the dial/redial state machine plus the
+// write loop. It exits only on shutdown.
+func (l *tcpLink) run() {
+	defer l.wg.Done()
+	cfg := &l.t.cfg
+	var conn netConn
+	failures := 0
+	for {
+		// Establish (or reestablish) the connection.
+		for conn == nil {
+			if failures == 0 {
+				l.stats.state.Store(int32(StateDialing))
+			} else {
+				l.stats.state.Store(int32(StateRedialing))
+			}
+			c, err := l.dialOnce()
+			if err == nil {
+				conn = c
+				failures = 0
+				l.stats.state.Store(int32(StateUp))
+				break
+			}
+			l.stats.setErr(err)
+			failures++
+			if failures > 1 {
+				l.stats.redials.Add(1)
+				l.t.ctr.redials.Inc()
+			}
+			l.stats.state.Store(int32(StateRedialing))
+			select {
+			case <-l.stop:
+				return
+			case <-cfg.Clock.After(cfg.Backoff.Delay(failures)):
+			}
+		}
+
+		select {
+		case <-l.stop:
+			conn.Close()
+			return
+		case env := <-l.queue:
+			if cfg.Faults != nil && cfg.Faults.resetConn(l.id) {
+				// Injected connection reset: the frame is lost with
+				// accounting and the link goes back through redial.
+				l.stats.dropped.Add(1)
+				l.t.ctr.dropped.Inc()
+				l.stats.setErr(fmt.Errorf("transport: injected connection reset"))
+				conn.Close()
+				conn = nil
+				failures = 1
+				l.stats.redials.Add(1)
+				l.t.ctr.redials.Inc()
+				l.stats.state.Store(int32(StateRedialing))
+				continue
+			}
+			hdr := make([]byte, 4, 4+len(env))
+			putStreamHeader(hdr, len(env))
+			buf := append(hdr, env...)
+			conn.SetWriteDeadline(time.Now().Add(cfg.WriteTimeout))
+			if _, err := conn.Write(buf); err != nil {
+				// The frame is gone (partial writes poison the stream
+				// anyway); count it, drop the conn, redial.
+				l.stats.dropped.Add(1)
+				l.t.ctr.dropped.Inc()
+				l.stats.setErr(err)
+				conn.Close()
+				conn = nil
+				failures = 1
+				l.stats.redials.Add(1)
+				l.t.ctr.redials.Inc()
+				l.stats.state.Store(int32(StateRedialing))
+				continue
+			}
+			l.stats.sent.Add(1)
+			l.t.ctr.sent.Inc()
+		}
+	}
+}
+
+func (l *tcpLink) dialOnce() (netConn, error) {
+	cfg := &l.t.cfg
+	l.stats.dials.Add(1)
+	if cfg.Faults != nil && cfg.Faults.refuseDial(l.id) {
+		return nil, ErrDialRefused
+	}
+	return l.t.dial(l.addr, cfg.DialTimeout)
+}

@@ -1,0 +1,252 @@
+package transport
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// maxDatagram bounds one UDP frame (envelope included). Rekey slices
+// are packetized well below this; anything larger must take TCP.
+const maxDatagram = 60 * 1024
+
+// UDP is the datagram transport: one bound socket, peers located by
+// host:port, identity carried in-band by the envelope (the source
+// address is never used for attribution — NATs and rebinding would
+// lie). Sends flow through a bounded queue drained by one writer
+// goroutine; there is no connection state to redial, so links report
+// StateUp once registered and datagram loss is the ladder's problem.
+type UDP struct {
+	id      PeerID
+	conn    *net.UDPConn
+	handler handlerCell
+	ctr     counters
+
+	mu     sync.RWMutex
+	peers  map[PeerID]*udpPeer
+	closed bool
+
+	sendq chan udpSend
+	done  chan struct{}
+	wg    sync.WaitGroup
+}
+
+type udpPeer struct {
+	stats peerStats
+	addr  *net.UDPAddr
+	str   string
+}
+
+type udpSend struct {
+	peer *udpPeer
+	env  []byte
+}
+
+// NewUDP binds listenAddr ("127.0.0.1:0" for an ephemeral test port)
+// and starts the read pump and writer.
+func NewUDP(listenAddr string, cfg Config) (*UDP, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	la, err := net.ResolveUDPAddr("udp", listenAddr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: resolve %q: %w", listenAddr, err)
+	}
+	conn, err := net.ListenUDP("udp", la)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen udp %q: %w", listenAddr, err)
+	}
+	u := &UDP{
+		id:    cfg.ID,
+		conn:  conn,
+		ctr:   newCounters(cfg.Obs),
+		peers: make(map[PeerID]*udpPeer),
+		sendq: make(chan udpSend, cfg.Queue),
+		done:  make(chan struct{}),
+	}
+	u.wg.Add(2)
+	go u.readPump()
+	go u.writePump(cfg.WriteTimeout)
+	return u, nil
+}
+
+func (u *UDP) readPump() {
+	defer u.wg.Done()
+	buf := make([]byte, maxDatagram+1)
+	for {
+		// A periodic deadline lets the pump observe done without an
+		// extra close/read race dance; Close also unblocks the read by
+		// closing the socket.
+		u.conn.SetReadDeadline(time.Now().Add(200 * time.Millisecond))
+		n, _, err := u.conn.ReadFromUDP(buf)
+		select {
+		case <-u.done:
+			return
+		default:
+		}
+		if err != nil {
+			if ne, ok := err.(net.Error); ok && ne.Timeout() {
+				continue
+			}
+			continue
+		}
+		if n > maxDatagram {
+			u.ctr.dropped.Inc()
+			continue
+		}
+		sender, payload, derr := decodeEnvelope(buf[:n])
+		if derr != nil {
+			u.ctr.dropped.Inc()
+			continue
+		}
+		h := u.handler.get()
+		if h == nil {
+			u.ctr.dropped.Inc()
+			continue
+		}
+		u.mu.RLock()
+		p := u.peers[sender]
+		u.mu.RUnlock()
+		if p != nil {
+			p.stats.received.Add(1)
+		}
+		u.ctr.received.Inc()
+		// The handler owns its frame; buf is reused on the next read.
+		frame := make([]byte, len(payload))
+		copy(frame, payload)
+		h(sender, frame)
+	}
+}
+
+func (u *UDP) writePump(writeTimeout time.Duration) {
+	defer u.wg.Done()
+	for {
+		select {
+		case <-u.done:
+			return
+		case s := <-u.sendq:
+			u.conn.SetWriteDeadline(time.Now().Add(writeTimeout))
+			if _, err := u.conn.WriteToUDP(s.env, s.peer.addr); err != nil {
+				s.peer.stats.dropped.Add(1)
+				s.peer.stats.setErr(err)
+				u.ctr.dropped.Inc()
+				continue
+			}
+			s.peer.stats.sent.Add(1)
+			u.ctr.sent.Inc()
+		}
+	}
+}
+
+// ID implements Transport.
+func (u *UDP) ID() PeerID { return u.id }
+
+// Addr implements Transport: the bound host:port.
+func (u *UDP) Addr() string { return u.conn.LocalAddr().String() }
+
+// AddPeer implements Transport.
+func (u *UDP) AddPeer(id PeerID, addr string) error {
+	if len(id) == 0 || len(id) > MaxPeerID {
+		return ErrUnknownPeer
+	}
+	ua, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return fmt.Errorf("transport: resolve peer %q at %q: %w", id, addr, err)
+	}
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	if u.closed {
+		return ErrClosed
+	}
+	p, ok := u.peers[id]
+	if !ok {
+		p = &udpPeer{}
+		u.peers[id] = p
+	}
+	p.addr, p.str = ua, ua.String()
+	p.stats.state.Store(int32(StateUp))
+	return nil
+}
+
+// RemovePeer implements Transport.
+func (u *UDP) RemovePeer(id PeerID) {
+	u.mu.Lock()
+	if p, ok := u.peers[id]; ok {
+		p.stats.state.Store(int32(StateClosed))
+		delete(u.peers, id)
+	}
+	u.mu.Unlock()
+}
+
+// Send implements Transport.
+func (u *UDP) Send(to PeerID, frame []byte) error {
+	if len(frame) > MaxFrame {
+		return ErrFrameTooBig
+	}
+	u.mu.RLock()
+	p, known := u.peers[to]
+	closed := u.closed
+	u.mu.RUnlock()
+	if closed {
+		return ErrClosed
+	}
+	if !known {
+		return ErrUnknownPeer
+	}
+	env := encodeEnvelope(u.id, frame)
+	if len(env) > maxDatagram {
+		p.stats.dropped.Add(1)
+		u.ctr.dropped.Inc()
+		return ErrFrameTooBig
+	}
+	select {
+	case u.sendq <- udpSend{peer: p, env: env}:
+		return nil
+	default:
+		p.stats.overflows.Add(1)
+		u.ctr.overflow.Inc()
+		return ErrQueueFull
+	}
+}
+
+// SetHandler implements Transport.
+func (u *UDP) SetHandler(h Handler) { u.handler.set(h) }
+
+// Status implements Transport.
+func (u *UDP) Status(id PeerID) (Status, bool) {
+	u.mu.RLock()
+	p, ok := u.peers[id]
+	u.mu.RUnlock()
+	if !ok {
+		return Status{}, false
+	}
+	return p.stats.status(p.str), true
+}
+
+// Close implements Transport. Queued-but-unwritten frames are dropped
+// with accounting.
+func (u *UDP) Close() error {
+	u.mu.Lock()
+	if u.closed {
+		u.mu.Unlock()
+		return nil
+	}
+	u.closed = true
+	for _, p := range u.peers {
+		p.stats.state.Store(int32(StateClosed))
+	}
+	u.mu.Unlock()
+	close(u.done)
+	u.conn.Close()
+	u.wg.Wait()
+	for {
+		select {
+		case s := <-u.sendq:
+			s.peer.stats.dropped.Add(1)
+			u.ctr.dropped.Inc()
+		default:
+			return nil
+		}
+	}
+}

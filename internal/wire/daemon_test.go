@@ -1,0 +1,158 @@
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"tmesh/internal/ident"
+	"tmesh/internal/keycrypt"
+	"tmesh/internal/keytree"
+)
+
+func testKey(t *testing.T, b byte) keycrypt.Key {
+	t.Helper()
+	raw := make([]byte, keycrypt.KeySize)
+	for i := range raw {
+		raw[i] = b + byte(i)
+	}
+	k, err := keycrypt.KeyFromBytes(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
+func TestAckRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 50; i++ {
+		id := randomID(rng)
+		interval := rng.Uint64()
+		buf := MarshalAck(interval, id)
+		gotInterval, gotID, err := UnmarshalAck(buf, tp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotInterval != interval || !gotID.Equal(id) {
+			t.Fatalf("round trip: got (%d, %v), want (%d, %v)", gotInterval, gotID, interval, id)
+		}
+	}
+}
+
+func TestAckRejectsDamage(t *testing.T) {
+	id := randomID(rand.New(rand.NewSource(3)))
+	good := MarshalAck(42, id)
+	for i := 1; i < len(good); i++ {
+		if _, _, err := UnmarshalAck(good[:i], tp); err == nil {
+			t.Fatalf("truncation to %d bytes decoded", i)
+		}
+	}
+	if _, _, err := UnmarshalAck(append(append([]byte{}, good...), 0), tp); err == nil {
+		t.Fatal("trailing byte decoded")
+	}
+	bad := append([]byte{}, good...)
+	bad[0] = byte(TypeSync)
+	if _, _, err := UnmarshalAck(bad, tp); err == nil {
+		t.Fatal("wrong tag decoded")
+	}
+}
+
+func TestSyncRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for _, n := range []int{0, 1, 3, 6} {
+		path := make([]keytree.PathKey, 0, n)
+		for i := 0; i < n; i++ {
+			path = append(path, keytree.PathKey{
+				ID:      randomPrefix(rng),
+				Version: rng.Uint64(),
+				Key:     testKey(t, byte(i)),
+			})
+		}
+		buf, err := MarshalSync(99, path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		interval, got, err := UnmarshalSync(buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if interval != 99 || len(got) != n {
+			t.Fatalf("round trip: interval %d, %d keys; want 99, %d", interval, len(got), n)
+		}
+		for i := range got {
+			if got[i].ID.Key() != path[i].ID.Key() || got[i].Version != path[i].Version || !got[i].Key.Equal(path[i].Key) {
+				t.Fatalf("path key %d did not survive the round trip", i)
+			}
+		}
+	}
+}
+
+// TestHostileLengths drives every decoder with frames whose declared
+// element counts vastly exceed the bytes that follow. The guards must
+// reject them up front — before any count-sized allocation — so a
+// hostile peer cannot OOM a node with a few bytes of header.
+func TestHostileLengths(t *testing.T) {
+	// Rekey: 14-byte frame claiming 2^31 encryptions (~26 GiB if the
+	// decoder believed it).
+	rekey := []byte{byte(TypeRekey), 0}                 // tag, forward level
+	rekey = binary.BigEndian.AppendUint64(rekey, 1)     // interval
+	rekey = binary.BigEndian.AppendUint32(rekey, 1<<31) // count
+	if _, _, err := UnmarshalRekey(rekey); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("rekey with 2^31 declared encryptions: got %v, want ErrTruncated", err)
+	}
+
+	// Query reply: max u16 records in a 3-byte body.
+	reply := []byte{byte(TypeQueryReply)}
+	reply = binary.BigEndian.AppendUint16(reply, 1<<16-1)
+	reply = append(reply, 1, 2, 3)
+	if _, err := UnmarshalQueryReply(reply, tp); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("reply with 65535 declared records: got %v, want ErrTruncated", err)
+	}
+
+	// Sync: max u16 path keys declared, zero bytes of key material.
+	sync := []byte{byte(TypeSync)}
+	sync = binary.BigEndian.AppendUint64(sync, 7)
+	sync = binary.BigEndian.AppendUint16(sync, 1<<16-1)
+	if _, _, err := UnmarshalSync(sync); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("sync with 65535 declared keys: got %v, want ErrTruncated", err)
+	}
+
+	// Ciphertext length lying about the remaining buffer.
+	enc := []byte{byte(TypeRekey), 0}           // tag, forward level
+	enc = binary.BigEndian.AppendUint64(enc, 1) // interval
+	enc = binary.BigEndian.AppendUint32(enc, 1) // one encryption
+	enc = append(enc, 0, 0)                     // empty target and key prefixes
+	enc = binary.BigEndian.AppendUint64(enc, 1) // key version
+	enc = binary.BigEndian.AppendUint16(enc, 1<<16-1)
+	enc = append(enc, 0xab) // 1 byte where 65535 were declared
+	if _, _, err := UnmarshalRekey(enc); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("encryption with lying ctLen: got %v, want ErrTruncated", err)
+	}
+}
+
+// TestSyncRejectsDamage walks every truncation of a healthy sync frame
+// and a few semantic corruptions.
+func TestSyncRejectsDamage(t *testing.T) {
+	path := []keytree.PathKey{
+		{ID: ident.EmptyPrefix, Version: 1, Key: testKey(t, 1)},
+		{ID: randomPrefix(rand.New(rand.NewSource(5))), Version: 2, Key: testKey(t, 2)},
+	}
+	good, err := MarshalSync(3, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(good); i++ {
+		if _, _, err := UnmarshalSync(good[:i]); err == nil {
+			t.Fatalf("truncation to %d bytes decoded", i)
+		}
+	}
+	if _, _, err := UnmarshalSync(append(append([]byte{}, good...), 0)); err == nil {
+		t.Fatal("trailing byte decoded")
+	}
+	bad := append([]byte{}, good...)
+	bad[0] = byte(TypeAck)
+	if _, _, err := UnmarshalSync(bad); err == nil {
+		t.Fatal("wrong tag decoded")
+	}
+}

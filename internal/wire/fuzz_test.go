@@ -74,6 +74,51 @@ func FuzzUnmarshalQuery(f *testing.F) {
 	})
 }
 
+func FuzzUnmarshalAck(f *testing.F) {
+	params := ident.Params{Digits: 5, Base: 256}
+	f.Add(MarshalAck(7, mustID(params)))
+	f.Add([]byte{byte(TypeAck), 0xff, 0xff, 0xff})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		interval, id, err := UnmarshalAck(data, params)
+		if err != nil {
+			return
+		}
+		if string(MarshalAck(interval, id)) != string(data) {
+			t.Fatal("decode/encode not canonical")
+		}
+	})
+}
+
+func FuzzUnmarshalSync(f *testing.F) {
+	raw := make([]byte, keycrypt.KeySize)
+	for i := range raw {
+		raw[i] = byte(i)
+	}
+	key, err := keycrypt.KeyFromBytes(raw)
+	if err != nil {
+		f.Fatal(err)
+	}
+	if seed, err := MarshalSync(9, []keytree.PathKey{{ID: ident.EmptyPrefix, Version: 1, Key: key}}); err == nil {
+		f.Add(seed)
+	}
+	// A tiny frame declaring the maximum key count: the guard must
+	// reject it before allocating.
+	f.Add([]byte{byte(TypeSync), 0, 0, 0, 0, 0, 0, 0, 1, 0xff, 0xff})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		interval, path, err := UnmarshalSync(data)
+		if err != nil {
+			return
+		}
+		back, err := MarshalSync(interval, path)
+		if err != nil {
+			t.Fatalf("re-marshal failed: %v", err)
+		}
+		if string(back) != string(data) {
+			t.Fatal("decode/encode not canonical")
+		}
+	})
+}
+
 func mustID(params ident.Params) ident.ID {
 	id, err := ident.FromInt(params, 12345)
 	if err != nil {

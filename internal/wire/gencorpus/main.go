@@ -59,6 +59,13 @@ func run() error {
 		full := rekeys[n-1]
 		rekeys = append(rekeys, full[:len(full)/2], flip(full, len(full)-1))
 	}
+	// Adversarial length fields: short frames declaring astronomical
+	// element counts. The decoders must reject these before allocating
+	// — a 14-byte frame claiming 2^31 encryptions (~2 GiB of declared
+	// payload) dies on the length guard, not in the allocator.
+	rekeys = append(rekeys,
+		hugeCount(byte(wire.TypeRekey), 9, 4, 1<<31),
+		hugeCount(byte(wire.TypeRekey), 9, 4, 1<<32-1))
 	if err := writeAll(filepath.Join(root, "FuzzUnmarshalRekey"), rekeys); err != nil {
 		return err
 	}
@@ -77,8 +84,13 @@ func run() error {
 		replies = append(replies, b)
 	}
 	last := replies[len(replies)-1]
-	replies = append(replies, last[:len(last)-3], flip(last, 1))
+	replies = append(replies, last[:len(last)-3], flip(last, 1),
+		hugeCount(byte(wire.TypeQueryReply), 0, 2, 1<<16-1))
 	if err := writeAll(filepath.Join(root, "FuzzUnmarshalQueryReply"), replies); err != nil {
+		return err
+	}
+
+	if err := writeDaemonCorpora(root, params, id); err != nil {
 		return err
 	}
 
@@ -121,6 +133,65 @@ func rekeyMessages(params ident.Params, id func(int) ident.ID) []*keytree.Messag
 		}},
 		big,
 	}
+}
+
+// writeDaemonCorpora seeds the ack and sync targets: healthy frames,
+// truncations, and hostile counts.
+func writeDaemonCorpora(root string, params ident.Params, id func(int) ident.ID) error {
+	var acks [][]byte
+	for i, interval := range []uint64{0, 7, 1 << 40} {
+		acks = append(acks, wire.MarshalAck(interval, id(i*101)))
+	}
+	a := acks[len(acks)-1]
+	acks = append(acks, a[:len(a)/2], flip(a, 0))
+	if err := writeAll(filepath.Join(root, "FuzzUnmarshalAck"), acks); err != nil {
+		return err
+	}
+
+	key := func(b byte) keycrypt.Key {
+		raw := make([]byte, keycrypt.KeySize)
+		for i := range raw {
+			raw[i] = b + byte(i)
+		}
+		k, err := keycrypt.KeyFromBytes(raw)
+		if err != nil {
+			panic(err)
+		}
+		return k
+	}
+	var syncs [][]byte
+	for i, path := range [][]keytree.PathKey{
+		{},
+		{{ID: ident.EmptyPrefix, Version: 1, Key: key(1)}},
+		{
+			{ID: id(12345).Prefix(1), Version: 9, Key: key(2)},
+			{ID: id(12345).Prefix(3), Version: 10, Key: key(3)},
+			{ID: id(12345).Prefix(5), Version: 11, Key: key(4)},
+		},
+	} {
+		b, err := wire.MarshalSync(uint64(i), path)
+		if err != nil {
+			return fmt.Errorf("sync %d: %w", i, err)
+		}
+		syncs = append(syncs, b)
+	}
+	s := syncs[len(syncs)-1]
+	syncs = append(syncs, s[:len(s)-keycrypt.KeySize/2], flip(s, len(s)-1),
+		hugeCount(byte(wire.TypeSync), 8, 2, 1<<16-1))
+	return writeAll(filepath.Join(root, "FuzzUnmarshalSync"), syncs)
+}
+
+// hugeCount builds a frame of tag, `lead` zero bytes (level, interval —
+// whatever precedes the count in that frame type), and a big-endian
+// count field of countWidth bytes declaring `count` elements with no
+// payload behind it.
+func hugeCount(tag byte, lead, countWidth int, count uint64) []byte {
+	b := make([]byte, 1+lead, 1+lead+countWidth)
+	b[0] = tag
+	for i := countWidth - 1; i >= 0; i-- {
+		b = append(b, byte(count>>(8*i)))
+	}
+	return b
 }
 
 func flip(b []byte, i int) []byte {

@@ -47,6 +47,16 @@ const (
 // ErrTruncated is returned when a buffer ends before a field does.
 var ErrTruncated = errors.New("wire: truncated message")
 
+// Minimum encoded sizes, used to reject hostile count fields before
+// any count-sized allocation. An encryption is two prefixes (1-byte
+// length each, possibly empty), an 8-byte version, and a 2-byte
+// ciphertext length; a record is an 8-byte host, a 1-byte ID length,
+// and an 8-byte join time.
+const (
+	encryptionMinSize = 1 + 1 + 8 + 2
+	recordMinSize     = 8 + 1 + 8
+)
+
 // reader is a bounds-checked cursor over a received buffer.
 type reader struct {
 	buf []byte
@@ -226,12 +236,15 @@ func UnmarshalRekey(buf []byte) (*keytree.Message, int, error) {
 	if err != nil {
 		return nil, 0, err
 	}
-	// An encryption is at least 12 bytes; reject counts the buffer
-	// cannot possibly hold before allocating.
-	if int(count) > r.rest()/12+1 {
+	// An encryption is at least encryptionMinSize bytes; a count the
+	// remaining buffer cannot possibly hold is rejected here, before
+	// any allocation sized by it. The arithmetic runs in int64 so a
+	// hostile 32-bit count cannot overflow the comparison: a 4-byte
+	// frame claiming 2^31 encryptions dies on this line.
+	if int64(count)*encryptionMinSize > int64(r.rest()) {
 		return nil, 0, fmt.Errorf("%w: %d encryptions in %d bytes", ErrTruncated, count, r.rest())
 	}
-	msg := &keytree.Message{Interval: interval}
+	msg := &keytree.Message{Interval: interval, Encryptions: make([]keycrypt.Encryption, 0, count)}
 	for i := uint32(0); i < count; i++ {
 		e, err := readEncryption(r)
 		if err != nil {
@@ -360,7 +373,9 @@ func UnmarshalQueryReply(buf []byte, params ident.Params) ([]overlay.Record, err
 	if err != nil {
 		return nil, err
 	}
-	if int(count) > r.rest()/17+1 { // a record is at least 17 bytes
+	// A record is at least recordMinSize bytes; reject impossible
+	// counts (int64 math, overflow-proof) before allocating the slice.
+	if int64(count)*recordMinSize > int64(r.rest()) {
 		return nil, fmt.Errorf("%w: %d records in %d bytes", ErrTruncated, count, r.rest())
 	}
 	out := make([]overlay.Record, 0, count)
