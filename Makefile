@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 5s
 
-.PHONY: ci build vet test race bench bench-rekey bench-hot soak-short soak-transport soak-metrics trace-audit fuzz
+.PHONY: ci build vet test race bench bench-rekey bench-hot bench-mem soak-short soak-transport soak-metrics soak-scale trace-audit fuzz
 
 # ci is the full verification gate: static checks, the race detector
 # over the whole tree (the parallel experiment harness in internal/exp
@@ -9,10 +9,10 @@ FUZZTIME ?= 5s
 # bite under -race; the chaos soak acceptance tests run here too), the
 # socket-transport soak (fault ladder over real loopback and UDP
 # endpoints), a short fuzz pass over the wire decoders, the
-# flight-recorder theorem audit over a freshly traced soak, and the
+# flight-recorder theorem audit over a freshly traced soak, the
 # hot-path benchmark gate (the compiled hop filter must stay at
-# 0 allocs/op).
-ci: vet race soak-transport fuzz trace-audit bench-hot
+# 0 allocs/op), the memory-budget gate, and the N=100k scale soak.
+ci: vet race soak-transport fuzz trace-audit bench-hot bench-mem soak-scale
 
 build:
 	$(GO) build ./...
@@ -88,6 +88,32 @@ bench-hot:
 	$(GO) test -run '^$$' -bench 'ProcessIntervalPar|DistributeRekey' -benchmem -benchtime 3x . >> results-bench-hot.txt || (cat results-bench-hot.txt; rm -f results-bench-hot.txt; exit 1)
 	$(GO) run ./cmd/benchjson -out BENCH_hotpath.json -require-zero-allocs BenchmarkHopFilterCompiled < results-bench-hot.txt
 	rm -f results-bench-hot.txt
+
+# bench-mem regenerates the committed memory baseline BENCH_memory.json
+# from the scale-soak benchmarks: the resident bytes/member of a fully
+# built RealCrypto group (MemberFootprint, N=20k) and the steady-state
+# allocation cost of one churn interval at N=100k (ScaleSoakInterval).
+# benchjson fails the target when a build or interval blows its byte or
+# allocation budget, so memory regressions on the million-member path
+# break CI instead of surfacing in production soaks. Budgets carry
+# ~1.5x headroom over the committed numbers.
+bench-mem:
+	$(GO) test -run '^$$' -bench 'MemberFootprint|ScaleSoakInterval' -benchmem -benchtime 1x ./internal/chaos > results-bench-mem.txt || (cat results-bench-mem.txt; rm -f results-bench-mem.txt; exit 1)
+	$(GO) run ./cmd/benchjson -out BENCH_memory.json \
+		-require-max-bytes 'BenchmarkMemberFootprint=120000000,BenchmarkScaleSoakInterval=800000000' \
+		-require-max-allocs 'BenchmarkMemberFootprint=700000,BenchmarkScaleSoakInterval=2500000' \
+		< results-bench-mem.txt
+	rm -f results-bench-mem.txt
+
+# soak-scale is the in-memory million-member ladder: a N=100k scale
+# soak (flat keytree + rank-indexed member store + streaming
+# percentiles, 1% churn per interval, every keyring spot-checked) runs
+# in CI; the full N=1,000,000 soak is the manual acceptance run:
+#
+#	$(GO) run ./cmd/rekeysim -soak -soak-n 1000000
+#
+soak-scale:
+	$(GO) run ./cmd/rekeysim -soak -soak-n 100000 -soak-intervals 6
 
 # bench-rekey compares the staged rekey pipeline sequential vs parallel
 # at N=4096 members with real AES-GCM: key regeneration across level-1

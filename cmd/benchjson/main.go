@@ -1,12 +1,20 @@
 // Command benchjson converts `go test -bench -benchmem` text output on
 // stdin into a stable JSON document, so benchmark baselines can be
-// committed and diffed. It can also act as a CI gate: with
+// committed and diffed. Custom b.ReportMetric units land in each
+// result's "extra" map. It can also act as a CI gate: with
 // -require-zero-allocs, the named benchmarks must be present and report
-// 0 allocs/op, or the run fails.
+// 0 allocs/op; -require-max-bytes and -require-max-allocs take
+// Name=limit pairs and fail the run when a named benchmark is missing
+// or exceeds its B/op or allocs/op budget.
 //
 //	go test -run xxx -bench 'HopFilter' -benchmem . | \
 //	    go run ./cmd/benchjson -out BENCH_hotpath.json \
 //	    -require-zero-allocs BenchmarkHopFilterCompiled
+//
+//	go test -run xxx -bench 'Footprint' -benchmem . | \
+//	    go run ./cmd/benchjson -out BENCH_memory.json \
+//	    -require-max-bytes BenchmarkMemberFootprint=2048 \
+//	    -require-max-allocs BenchmarkMemberFootprint=16
 package main
 
 import (
@@ -30,6 +38,9 @@ type Result struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
 	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+	// Extra holds custom b.ReportMetric units (e.g. "bytes/member"),
+	// keyed by unit string.
+	Extra map[string]float64 `json:"extra,omitempty"`
 }
 
 // Document is the committed baseline: environment header plus sorted
@@ -52,7 +63,21 @@ func run(args []string, in io.Reader, errw io.Writer) int {
 	out := fs.String("out", "", "write JSON here instead of stdout")
 	requireZero := fs.String("require-zero-allocs", "",
 		"comma-separated benchmark names that must be present with 0 allocs/op")
+	requireMaxBytes := fs.String("require-max-bytes", "",
+		"comma-separated Name=limit pairs; each benchmark must be present with B/op <= limit")
+	requireMaxAllocs := fs.String("require-max-allocs", "",
+		"comma-separated Name=limit pairs; each benchmark must be present with allocs/op <= limit")
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	maxBytes, err := parseLimits(*requireMaxBytes)
+	if err != nil {
+		fmt.Fprintf(errw, "benchjson: -require-max-bytes: %v\n", err)
+		return 2
+	}
+	maxAllocs, err := parseLimits(*requireMaxAllocs)
+	if err != nil {
+		fmt.Fprintf(errw, "benchjson: -require-max-allocs: %v\n", err)
 		return 2
 	}
 	doc, err := parse(in)
@@ -79,6 +104,22 @@ func run(args []string, in io.Reader, errw io.Writer) int {
 			fail = true
 		}
 	}
+	gate := func(limits []limit, what string, get func(Result) float64) {
+		for _, l := range limits {
+			r, ok := find(doc.Results, l.name)
+			switch {
+			case !ok:
+				fmt.Fprintf(errw, "benchjson: required benchmark %s missing from input\n", l.name)
+				fail = true
+			case get(r) > l.max:
+				fmt.Fprintf(errw, "benchjson: %s exceeds its %s budget: %.1f, limit %.1f\n",
+					l.name, what, get(r), l.max)
+				fail = true
+			}
+		}
+	}
+	gate(maxBytes, "B/op", func(r Result) float64 { return r.BytesPerOp })
+	gate(maxAllocs, "allocs/op", func(r Result) float64 { return r.AllocsPerOp })
 	data, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		fmt.Fprintf(errw, "benchjson: %v\n", err)
@@ -159,9 +200,39 @@ func parseLine(line string) (Result, error) {
 			r.BytesPerOp = v
 		case "allocs/op":
 			r.AllocsPerOp = v
+		default:
+			if r.Extra == nil {
+				r.Extra = make(map[string]float64)
+			}
+			r.Extra[f[i+1]] = v
 		}
 	}
 	return r, nil
+}
+
+// limit is one parsed Name=max budget from a gate flag.
+type limit struct {
+	name string
+	max  float64
+}
+
+func parseLimits(spec string) ([]limit, error) {
+	var out []limit
+	for _, pair := range strings.Split(spec, ",") {
+		if pair = strings.TrimSpace(pair); pair == "" {
+			continue
+		}
+		name, val, ok := strings.Cut(pair, "=")
+		if !ok || strings.TrimSpace(name) == "" {
+			return nil, fmt.Errorf("malformed pair %q, want Name=limit", pair)
+		}
+		max, err := strconv.ParseFloat(strings.TrimSpace(val), 64)
+		if err != nil || max < 0 {
+			return nil, fmt.Errorf("bad limit in %q: want a non-negative number", pair)
+		}
+		out = append(out, limit{name: strings.TrimSpace(name), max: max})
+	}
+	return out, nil
 }
 
 func find(rs []Result, name string) (Result, bool) {

@@ -73,3 +73,70 @@ func TestRunZeroAllocGate(t *testing.T) {
 		t.Errorf("empty input exited %d, want 1", got)
 	}
 }
+
+// memSample includes a custom b.ReportMetric unit alongside -benchmem.
+const memSample = `goos: linux
+pkg: tmesh
+BenchmarkMemberFootprint-8	    2917	    412032 ns/op	      431.5 bytes/member	    1024 B/op	       3 allocs/op
+PASS
+`
+
+func TestParseCapturesExtraMetrics(t *testing.T) {
+	doc, err := parse(strings.NewReader(memSample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := doc.Results[0]
+	if r.BytesPerOp != 1024 || r.AllocsPerOp != 3 {
+		t.Errorf("benchmem metrics wrong: %+v", r)
+	}
+	if got := r.Extra["bytes/member"]; got != 431.5 {
+		t.Errorf("extra metric bytes/member = %v, want 431.5", got)
+	}
+	// The extra map must round-trip through the JSON document.
+	data, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Document
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Results[0].Extra["bytes/member"] != 431.5 {
+		t.Errorf("extra metric lost in JSON round-trip: %+v", back.Results[0])
+	}
+}
+
+func TestRunMaxBudgetGates(t *testing.T) {
+	var errBuf bytes.Buffer
+	pass := []string{"-out", os.DevNull,
+		"-require-max-bytes", "BenchmarkMemberFootprint=1024",
+		"-require-max-allocs", "BenchmarkMemberFootprint=3"}
+	if got := run(pass, strings.NewReader(memSample), &errBuf); got != 0 {
+		t.Fatalf("at-limit budgets exited %d: %s", got, errBuf.String())
+	}
+
+	cases := []struct {
+		name string
+		args []string
+		want int
+	}{
+		{"bytes over budget", []string{"-require-max-bytes", "BenchmarkMemberFootprint=1023"}, 1},
+		{"allocs over budget", []string{"-require-max-allocs", "BenchmarkMemberFootprint=2"}, 1},
+		{"missing benchmark", []string{"-require-max-bytes", "BenchmarkNope=1"}, 1},
+		{"both gates one failing", []string{
+			"-require-max-bytes", "BenchmarkMemberFootprint=4096",
+			"-require-max-allocs", "BenchmarkMemberFootprint=1"}, 1},
+		{"malformed pair", []string{"-require-max-bytes", "BenchmarkMemberFootprint"}, 2},
+		{"empty name", []string{"-require-max-bytes", "=10"}, 2},
+		{"negative limit", []string{"-require-max-allocs", "BenchmarkMemberFootprint=-1"}, 2},
+		{"junk limit", []string{"-require-max-bytes", "BenchmarkMemberFootprint=lots"}, 2},
+	}
+	for _, tc := range cases {
+		errBuf.Reset()
+		args := append([]string{"-out", os.DevNull}, tc.args...)
+		if got := run(args, strings.NewReader(memSample), &errBuf); got != tc.want {
+			t.Errorf("%s: exited %d, want %d (stderr: %s)", tc.name, got, tc.want, errBuf.String())
+		}
+	}
+}

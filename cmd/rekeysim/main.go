@@ -61,6 +61,8 @@ func run(args []string) int {
 		soakMembers   = fs.Int("soak-members", 0, "override the soak's initial group size")
 		soakLoss      = fs.Float64("soak-loss", -1, "override the soak's per-hop loss probability")
 		soakRekeyPar  = fs.Int("soak-rekey-parallelism", 0, "override the soak's key-regeneration worker fan-out; 1 = sequential (rekey messages are byte-identical either way)")
+		soakN         = fs.Int("soak-n", 0, "run the key-management scale soak at this many members instead of the network soak (requires -soak)")
+		soakChurn     = fs.Int("soak-churn", 0, "override the scale soak's per-interval leave/rejoin count (requires -soak-n)")
 
 		daemon          = fs.Bool("daemon", false, "run the socket daemon soak (internal/rekeyd nodes over internal/transport sockets) instead of an experiment")
 		transportKind   = fs.String("transport", "loopback", "daemon fabric: sim, loopback, udp, or tcp; sim delegates to the simulator soak (requires -daemon)")
@@ -76,6 +78,7 @@ func run(args []string) int {
 	fs.Usage = func() {
 		fmt.Fprintf(fs.Output(), "usage: rekeysim [flags] <fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14|joincost|ablation|packets|loss|gnp|congestion|all>\n")
 		fmt.Fprintf(fs.Output(), "       rekeysim -soak [-seed N] [-soak-intervals N] [-soak-members N] [-soak-loss P] [-soak-rekey-parallelism N] [-metrics-out FILE] [-trace-out FILE] [-trace-sample K] [-pprof ADDR]\n")
+		fmt.Fprintf(fs.Output(), "       rekeysim -soak -soak-n N [-seed N] [-soak-churn N] [-soak-intervals N] [-soak-rekey-parallelism N]\n")
 		fmt.Fprintf(fs.Output(), "       rekeysim -daemon [-transport sim|loopback|udp|tcp] [-listen ADDR] [-seed N] [-daemon-members N] [-daemon-intervals N]\n")
 		fs.PrintDefaults()
 	}
@@ -91,6 +94,8 @@ func run(args []string) int {
 			"soak-members":           true,
 			"soak-loss":              true,
 			"soak-rekey-parallelism": true,
+			"soak-n":                 true,
+			"soak-churn":             true,
 			"metrics-out":            true,
 			"trace-out":              true,
 			"trace-sample":           true,
@@ -164,6 +169,34 @@ func run(args []string) int {
 	}
 	if *soak {
 		if fs.NArg() != 0 {
+			fs.Usage()
+			return 2
+		}
+		if *soakN > 0 {
+			// The scale soak has no virtual network, so the
+			// network-facing soak flags cannot apply to it.
+			scaleIncompat := map[string]bool{
+				"soak-members": true,
+				"soak-loss":    true,
+				"metrics-out":  true,
+				"trace-out":    true,
+				"trace-sample": true,
+			}
+			var misused []string
+			fs.Visit(func(f *flag.Flag) {
+				if scaleIncompat[f.Name] {
+					misused = append(misused, "-"+f.Name)
+				}
+			})
+			if len(misused) > 0 {
+				fmt.Fprintf(os.Stderr, "rekeysim: %s do(es) not apply to the scale soak (-soak-n)\n", strings.Join(misused, ", "))
+				fs.Usage()
+				return 2
+			}
+			return runScaleSoak(*seed, *soakN, *soakChurn, *soakIntervals, *soakRekeyPar)
+		}
+		if *soakChurn != 0 {
+			fmt.Fprintln(os.Stderr, "rekeysim: -soak-churn requires -soak-n (only the scale soak churns by count)")
 			fs.Usage()
 			return 2
 		}
@@ -247,6 +280,37 @@ func runDaemon(seed int64, kind, listen string, members, intervals int, withObs 
 	}
 	fmt.Print(rep.String())
 	if rep.TotalViolations() > 0 {
+		return 1
+	}
+	return 0
+}
+
+// runScaleSoak drives the key-management scale soak — the flat-state
+// churn loop with no virtual network — and prints its canonical report
+// on stdout. Progress lines (with live heap readings) go to stderr; the
+// exit status reflects the keyring spot checks.
+func runScaleSoak(seed int64, n, churn, intervals, parallelism int) int {
+	cfg := chaos.DefaultScaleConfig(n)
+	cfg.Seed = seed
+	if churn > 0 {
+		cfg.Churn = churn
+	}
+	if intervals > 0 {
+		cfg.Intervals = intervals
+	}
+	if parallelism > 0 {
+		cfg.Parallelism = parallelism
+	}
+	cfg.Out = os.Stderr
+	rep, err := chaos.RunScaleSoak(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rekeysim:", err)
+		return 2
+	}
+	fmt.Print(rep.String())
+	fmt.Fprintf(os.Stderr, "scale soak heap: %d MB live, %.1f bytes/member\n",
+		rep.HeapAllocEnd>>20, rep.BytesPerMember)
+	if len(rep.Violations) > 0 {
 		return 1
 	}
 	return 0

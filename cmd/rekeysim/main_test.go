@@ -28,6 +28,16 @@ func TestRunArgHandling(t *testing.T) {
 		{"soak-loss without soak", []string{"-soak-loss", "0.1", "fig6"}, 2},
 		{"soak-rekey-parallelism without soak", []string{"-soak-rekey-parallelism", "2", "fig6"}, 2},
 		{"several soak flags without soak", []string{"-soak-members", "40", "-trace-out", os.DevNull, "fig6"}, 2},
+		{"soak-n without soak", []string{"-soak-n", "1000", "fig6"}, 2},
+		{"soak-churn without soak", []string{"-soak-churn", "10", "fig6"}, 2},
+		// Scale-soak hygiene inside -soak: -soak-churn is meaningless
+		// without -soak-n, and the network-facing flags are meaningless
+		// with it.
+		{"soak-churn without soak-n", []string{"-soak", "-soak-churn", "10"}, 2},
+		{"soak-n with soak-members", []string{"-soak", "-soak-n", "1000", "-soak-members", "40"}, 2},
+		{"soak-n with soak-loss", []string{"-soak", "-soak-n", "1000", "-soak-loss", "0.1"}, 2},
+		{"soak-n with trace-out", []string{"-soak", "-soak-n", "1000", "-trace-out", os.DevNull}, 2},
+		{"soak-n with experiment arg", []string{"-soak", "-soak-n", "1000", "fig6"}, 2},
 		// Soak-only flags at their default values must not trip the
 		// check when absent from the command line.
 		{"experiment without soak flags ok", []string{"fig99"}, 1},
@@ -58,6 +68,18 @@ func TestRunArgHandling(t *testing.T) {
 				t.Errorf("run(%v) = %d, want %d", tt.args, got, tt.want)
 			}
 		})
+	}
+}
+
+// TestRunScaleSoakSmoke drives a tiny scale soak end to end through the
+// CLI path; exit 0 means every keyring spot check stayed green.
+func TestRunScaleSoakSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI smoke test")
+	}
+	args := []string{"-soak", "-soak-n", "500", "-soak-churn", "20", "-soak-intervals", "4"}
+	if got := run(args); got != 0 {
+		t.Errorf("run(%v) = %d, want 0", args, got)
 	}
 }
 

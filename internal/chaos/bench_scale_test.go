@@ -1,0 +1,76 @@
+package chaos
+
+import (
+	"runtime"
+	"testing"
+)
+
+// benchFootprintN sizes the footprint benchmark: large enough that
+// fixed overheads (tree root, applier scratch, rank table headers)
+// amortize to noise, small enough for CI.
+const benchFootprintN = 20000
+
+// BenchmarkMemberFootprint builds a complete RealCrypto scale world —
+// server key tree, every member keyring, the reusable applier — and
+// reports the resident heap per member as a bytes/member metric
+// (GC-settled HeapAlloc delta across the build). Each op is one full
+// build-up, so B/op is the total allocation cost of admitting
+// benchFootprintN members.
+func BenchmarkMemberFootprint(b *testing.B) {
+	cfg := DefaultScaleConfig(benchFootprintN)
+	var perMember float64
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		var before, after runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&before)
+		b.StartTimer()
+		w, err := newScaleWorld(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		runtime.GC()
+		runtime.ReadMemStats(&after)
+		perMember = (float64(after.HeapAlloc) - float64(before.HeapAlloc)) / float64(benchFootprintN)
+		runtime.KeepAlive(w)
+		b.StartTimer()
+	}
+	b.ReportMetric(perMember, "bytes/member")
+}
+
+// benchIntervalN sizes the steady-state interval benchmark.
+const benchIntervalN = 100000
+
+// BenchmarkScaleSoakInterval measures one churn interval of the scale
+// soak at benchIntervalN members: leave/join draw, batch Mark and
+// Regenerate, every survivor applying the rekey message, joiners
+// keyed by unicast. The world is built outside the timer and one
+// warm-up interval populates the lazily-grown scratch, so B/op and
+// allocs/op are the steady-state per-interval cost the bench-mem gate
+// pins. The bytes/member metric is the GC-settled resident heap after
+// the run.
+func BenchmarkScaleSoakInterval(b *testing.B) {
+	cfg := DefaultScaleConfig(benchIntervalN)
+	w, err := newScaleWorld(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, _, err := w.step(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := w.step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	b.ReportMetric(float64(ms.HeapAlloc)/float64(benchIntervalN), "bytes/member")
+	runtime.KeepAlive(w)
+}

@@ -37,7 +37,9 @@ import (
 	"tmesh/internal/eventsim"
 	"tmesh/internal/failover"
 	"tmesh/internal/ident"
+	"tmesh/internal/keycrypt"
 	"tmesh/internal/keytree"
+	"tmesh/internal/metrics"
 	"tmesh/internal/obs"
 	"tmesh/internal/obs/trace"
 	"tmesh/internal/overlay"
@@ -301,6 +303,22 @@ type Engine struct {
 	rekeyLive   []memberSnap // alive members at rekey send
 	lastEpoch   map[string]uint64
 
+	// Per-soak arenas: the data probe and the rekey ladder each keep
+	// their own transport arena (their results overlap within an
+	// interval), and the split compiler reuses one arena across
+	// intervals. Safe because each interval's results are consumed by
+	// the audit before the next interval's sends reuse the storage.
+	dataArena  *tmesh.Arena
+	rekeyArena *tmesh.Arena
+	splitArena *split.CompileArena[keycrypt.Encryption]
+
+	// Streaming (constant-memory) delivery-delay percentiles over the
+	// whole soak, fed in deterministic member order at each audit so
+	// same-seed runs report identical estimates.
+	dataDelay  *metrics.StreamingSummary
+	keyDelay   *metrics.StreamingSummary
+	rekeyStart time.Duration // virtual send time of the current rekey
+
 	// Flight recorder (nil when Config.TraceSink is nil) and the open
 	// traces of the current sampled interval.
 	trec          *trace.Recorder
@@ -362,6 +380,11 @@ func New(cfg Config) (*Engine, error) {
 		inTree:          make(map[string]bool),
 		churnSinceAudit: make(map[string]ident.ID),
 		lastEpoch:       make(map[string]uint64),
+		dataArena:       tmesh.NewArena(cfg.InitialMembers + 1),
+		rekeyArena:      tmesh.NewArena(cfg.InitialMembers + 1),
+		splitArena:      split.NewCompileArena[keycrypt.Encryption](),
+		dataDelay:       metrics.NewStreamingSummary(),
+		keyDelay:        metrics.NewStreamingSummary(),
 		rep:             &Report{Seed: cfg.Seed},
 	}
 	if cfg.TraceSink != nil {
@@ -528,6 +551,8 @@ func (e *Engine) Run() (*Report, error) {
 	e.rep.TotalEvents = e.sim.Processed()
 	e.rep.PastClamps = e.sim.PastClamps()
 	e.rep.FinalMembers = e.dir.Size()
+	e.rep.DataDelayMS = e.dataDelay.Summary()
+	e.rep.KeyDelayMS = e.keyDelay.Summary()
 	return e.rep, nil
 }
 
@@ -729,6 +754,7 @@ func (e *Engine) doDataProbe(now time.Duration, stats *IntervalStats, fail func(
 		StartAt:        now,
 		Obs:            e.cfg.Obs,
 		Trace:          e.curDataTrace,
+		Arena:          e.dataArena,
 	}, 1)
 	if err != nil {
 		fail(fmt.Errorf("chaos: data multicast: %w", err))
@@ -801,6 +827,7 @@ func (e *Engine) doRekey(now time.Duration, stats *IntervalStats, fail func(erro
 			e.curRekeyTrace.Member(m.id)
 		}
 	}
+	e.rekeyStart = now
 	deliverSpan := e.cfg.Obs.StartSpan("chaos_deliver")
 	lr, err := recovery.DistributeLadder(recovery.LadderConfig{
 		Dir:              e.dir,
@@ -817,6 +844,8 @@ func (e *Engine) doRekey(now time.Duration, stats *IntervalStats, fail func(erro
 		DropUnicast:      e.dropUnicast,
 		Obs:              e.cfg.Obs,
 		Trace:            e.curRekeyTrace,
+		Arena:            e.rekeyArena,
+		SplitArena:       e.splitArena,
 	}, msg)
 	deliverSpan.End()
 	if err != nil {
@@ -927,6 +956,25 @@ func (e *Engine) doAudit(now time.Duration, idx int, stats *IntervalStats) {
 		}
 		e.curRekeyTrace.End(surv, faultFree)
 		e.curRekeyTrace = nil
+	}
+
+	// Fold the interval's delivery delays into the soak-wide streaming
+	// percentiles. Member order is deterministic (snapshots are in ID
+	// order), so the P² marker state — and hence the reported estimates
+	// — replays identically for the same seed.
+	if e.curData != nil {
+		for _, m := range e.dataMembers {
+			if st := e.curData.Users[m.key]; st != nil && st.Received > 0 {
+				e.dataDelay.Observe(float64(st.Delay) / float64(time.Millisecond))
+			}
+		}
+	}
+	if e.curLadder != nil {
+		for _, m := range e.rekeyLive {
+			if at, ok := e.curLadder.DeliveredAt[m.key]; ok {
+				e.keyDelay.Observe(float64(at-e.rekeyStart) / float64(time.Millisecond))
+			}
+		}
 	}
 
 	// Reset per-interval state the auditors consumed.

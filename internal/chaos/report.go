@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"strings"
 	"time"
+
+	"tmesh/internal/metrics"
 )
 
 // IntervalStats is the audited record of one rekey interval.
@@ -73,6 +75,13 @@ type Report struct {
 	FinalMembers  int
 	OrphanEvicted int // dead users reaped by the interval-boundary backstop
 
+	// Soak-wide delivery-delay percentiles (milliseconds), estimated by
+	// the constant-memory streaming summaries rather than by retaining
+	// every sample: DataDelayMS covers data-probe copies, KeyDelayMS
+	// covers key deliveries across all ladder rungs.
+	DataDelayMS metrics.Summary
+	KeyDelayMS  metrics.Summary
+
 	// FinalViolations holds failures of the end-of-run full sweep.
 	FinalViolations []string
 }
@@ -99,6 +108,9 @@ func (r *Report) String() string {
 			fmt.Fprintf(&b, "  violation: %s\n", v)
 		}
 	}
+	fmt.Fprintf(&b, "delay_ms: data n=%d p50=%.3f p95=%.3f max=%.3f | key n=%d p50=%.3f p95=%.3f max=%.3f\n",
+		r.DataDelayMS.N, r.DataDelayMS.Median, r.DataDelayMS.P95, r.DataDelayMS.Max,
+		r.KeyDelayMS.N, r.KeyDelayMS.Median, r.KeyDelayMS.P95, r.KeyDelayMS.Max)
 	fmt.Fprintf(&b, "final: members=%d events=%d past_clamps=%d orphans=%d violations=%d\n",
 		r.FinalMembers, r.TotalEvents, r.PastClamps, r.OrphanEvicted, r.TotalViolations())
 	for _, v := range r.FinalViolations {

@@ -124,6 +124,10 @@ func (t *Tree) ChildDigits(p Prefix) []Digit {
 	return out
 }
 
+// ChildCount returns the number of existing children of the prefix node
+// (0 if the node does not exist) without allocating.
+func (t *Tree) ChildCount(p Prefix) int { return len(t.children[p.Key()]) }
+
 // EachChildDigit calls fn for every existing child digit of the prefix
 // node in increasing order. Unlike ChildDigits it neither allocates nor
 // sorts (it probes the child set digit by digit), so per-node tree

@@ -2,7 +2,6 @@ package keytree
 
 import (
 	"fmt"
-	"sort"
 
 	"tmesh/internal/ident"
 	"tmesh/internal/keycrypt"
@@ -13,24 +12,36 @@ import (
 // individual key contained in its corresponding u-node as well as the
 // keys contained in the k-nodes on the path from its corresponding u-node
 // to the root".
+//
+// The path has exactly D+1 keys — one per prefix length of the owner's ID
+// — so the ring stores them in a flat slice indexed by level rather than
+// a map keyed by prefix string: constant size per member, no per-key map
+// overhead, which is what lets a million keyrings sit in RAM at once.
 type Keyring struct {
 	id     ident.ID
 	params ident.Params
-	keys   map[string]PathKey // prefix key -> current key
+	levels []PathKey // levels[l] = current key for id[:l]; levels[D] = individual key
+
+	// scratch backs Apply's needed-encryption collection so steady-state
+	// rekey application allocates nothing per interval. Cleared after
+	// use so the ring never pins a message's ciphertext buffers.
+	scratch []keycrypt.Encryption
 }
 
 // NewKeyring initialises a user's keyring from the path-keys message the
 // key server unicasts at join time.
 func NewKeyring(params ident.Params, u ident.ID, path []PathKey) (*Keyring, error) {
-	kr := &Keyring{id: u, params: params, keys: make(map[string]PathKey, len(path))}
+	kr := &Keyring{id: u, params: params, levels: make([]PathKey, params.Digits+1)}
+	seen := make([]bool, params.Digits+1)
 	for _, pk := range path {
 		if !pk.ID.IsPrefixOfID(u) {
 			return nil, fmt.Errorf("keytree: path key %v is not on %v's path", pk.ID, u)
 		}
-		kr.keys[pk.ID.Key()] = pk
+		kr.levels[pk.ID.Len()] = pk
+		seen[pk.ID.Len()] = true
 	}
 	for l := 0; l <= params.Digits; l++ {
-		if _, ok := kr.keys[u.Prefix(l).Key()]; !ok {
+		if !seen[l] {
 			return nil, fmt.Errorf("keytree: path key for level %d missing", l)
 		}
 	}
@@ -42,14 +53,18 @@ func (kr *Keyring) ID() ident.ID { return kr.id }
 
 // GroupKey returns the owner's current group key.
 func (kr *Keyring) GroupKey() (keycrypt.Key, bool) {
-	pk, ok := kr.keys[ident.EmptyPrefix.Key()]
-	return pk.Key, ok
+	if len(kr.levels) == 0 {
+		return keycrypt.Key{}, false
+	}
+	return kr.levels[0].Key, true
 }
 
 // Key returns the current key held for a path prefix.
 func (kr *Keyring) Key(p ident.Prefix) (keycrypt.Key, bool) {
-	pk, ok := kr.keys[p.Key()]
-	return pk.Key, ok
+	if !p.IsPrefixOfID(kr.id) || p.Len() >= len(kr.levels) {
+		return keycrypt.Key{}, false
+	}
+	return kr.levels[p.Len()].Key, true
 }
 
 // Needs implements Lemma 3 for this user.
@@ -61,29 +76,42 @@ func (kr *Keyring) Needs(e keycrypt.Encryption) bool { return e.NeededBy(kr.id) 
 // updated. Encryptions the user does not need are ignored, so Apply
 // works identically with or without upstream splitting.
 func (kr *Keyring) Apply(msg *Message) (int, error) {
-	needed := make([]keycrypt.Encryption, 0, kr.params.Digits+1)
+	needed := kr.scratch[:0]
 	for _, e := range msg.Encryptions {
 		if kr.Needs(e) {
 			needed = append(needed, e)
 		}
 	}
 	// Deepest encrypting key first: each unwrap may need the key
-	// installed by the previous one.
-	sort.SliceStable(needed, func(i, j int) bool {
-		return needed[i].ID.Len() > needed[j].ID.Len()
-	})
+	// installed by the previous one. The slice holds at most D+1
+	// entries, so a stable insertion sort beats sort.SliceStable and —
+	// unlike it — allocates nothing, keeping the per-interval apply
+	// path flat at soak scale.
+	for i := 1; i < len(needed); i++ {
+		for j := i; j > 0 && needed[j-1].ID.Len() < needed[j].ID.Len(); j-- {
+			needed[j-1], needed[j] = needed[j], needed[j-1]
+		}
+	}
 	updated := 0
+	var err error
 	for _, e := range needed {
-		kek, ok := kr.keys[e.ID.Key()]
-		if !ok {
-			return updated, fmt.Errorf("keytree: %v lacks key %v to unwrap %v", kr.id, e.ID, e.KeyID)
+		// Needs guarantees e.ID is on the owner's path, so the KEK is
+		// always held; the wrapped key's ID must be on the path too or
+		// installing it would clobber an unrelated level.
+		if !e.KeyID.IsPrefixOfID(kr.id) || e.KeyID.Len() >= len(kr.levels) {
+			err = fmt.Errorf("keytree: %v received key %v outside its path", kr.id, e.KeyID)
+			break
 		}
-		newKey, err := keycrypt.Unwrap(kek.Key, e)
-		if err != nil {
-			return updated, fmt.Errorf("keytree: %v unwrapping %v: %w", kr.id, e.KeyID, err)
+		kek := kr.levels[e.ID.Len()]
+		newKey, uerr := keycrypt.Unwrap(kek.Key, e)
+		if uerr != nil {
+			err = fmt.Errorf("keytree: %v unwrapping %v: %w", kr.id, e.KeyID, uerr)
+			break
 		}
-		kr.keys[e.KeyID.Key()] = PathKey{ID: e.KeyID, Key: newKey, Version: e.KeyVersion}
+		kr.levels[e.KeyID.Len()] = PathKey{ID: e.KeyID, Key: newKey, Version: e.KeyVersion}
 		updated++
 	}
-	return updated, nil
+	clear(needed)
+	kr.scratch = needed[:0]
+	return updated, err
 }

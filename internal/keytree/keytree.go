@@ -19,6 +19,17 @@
 // key on a path from a changed u-node to the root is replaced, and for
 // every updated k-node one encryption per child is generated (the new key
 // wrapped under each child's current key).
+//
+// Storage layout: the hot node state lives in flat slabs, not per-node
+// heap objects. U-nodes sit in a slice indexed by the member's dense
+// ident.Rank (the tree owns the RankTable and assigns/releases ranks as
+// members join and leave); k-nodes sit in a slab addressed through a
+// string-keyed slot index with a free list, so slots — like ranks — are
+// reused under churn and the slab stops growing once membership reaches
+// its high-water mark. Ranks and slots are implementation detail: key
+// derivation, message layout, and every protocol-visible output depend
+// only on IDs, versions, and intervals, so same-seed runs are
+// byte-identical to the map-backed representation.
 package keytree
 
 import (
@@ -45,6 +56,10 @@ type Opts struct {
 	// land only in the registry, never in the rekey message, so output
 	// stays byte-identical with telemetry on or off.
 	Obs *obs.Registry
+	// CapacityHint pre-sizes the node slabs and rank table for an
+	// expected member count, so large soaks pay for growth once instead
+	// of through repeated reallocation. Zero is fine for small trees.
+	CapacityHint int
 }
 
 type node struct {
@@ -62,12 +77,27 @@ type Tree struct {
 	nonceSeed []byte // deterministic GCM nonce derivation (see keycrypt.WrapSeeded)
 	opts      Opts
 
-	structure *ident.Tree       // ID tree of current members
-	knodes    map[string]*node  // prefix key -> k-node (levels 0..D-1)
-	unodes    map[string]*node  // ID key -> u-node (individual keys)
-	epochs    map[string]uint64 // rejoin counter per user-ID key
+	structure *ident.Tree      // ID tree of current members
+	ranks     *ident.RankTable // member ID <-> dense u-node rank
+	useg      []node           // u-nodes, indexed by rank (len == ranks.Width())
+	kindex    map[string]int32 // prefix key -> k-node slot (levels 0..D-1)
+	kseg      []node           // k-node slab
+	kfree     []int32          // free k-node slots, reused LIFO
+	epochs    map[string]uint64
 	interval  uint64
+
+	// Scratch reused across intervals so steady-state Mark/Regenerate
+	// does not re-allocate per-batch working state.
+	updatedScratch map[string]ident.Prefix
+	groupIdx       [][]int // plan indices per level-1 digit; slot Base is the root group
+	groupOrder     []int
+	offsets        []int
 }
+
+// epochs is keyed by user-ID string, NOT by rank: a rejoin epoch must
+// survive the member's absence from the group (it is what makes a
+// rejoiner's individual key fresh), while the member's rank is released
+// at leave time and may meanwhile be reused by a different ID.
 
 // Message is one batch rekey message: all encryptions generated at the
 // end of a rekey interval, before any splitting.
@@ -89,14 +119,20 @@ func New(params ident.Params, seed []byte, opts Opts) (*Tree, error) {
 	if err := params.Validate(); err != nil {
 		return nil, err
 	}
+	hint := opts.CapacityHint
+	if hint < 0 {
+		hint = 0
+	}
 	return &Tree{
 		params:    params,
 		seed:      append([]byte(nil), seed...),
 		nonceSeed: keycrypt.DeriveKey(seed, "nonce-seed").Bytes(),
 		opts:      opts,
 		structure: ident.NewTree(params),
-		knodes:    make(map[string]*node),
-		unodes:    make(map[string]*node),
+		ranks:     ident.NewRankTable(hint),
+		useg:      make([]node, 0, hint),
+		kindex:    make(map[string]int32, hint),
+		kseg:      make([]node, 0, hint),
 		epochs:    make(map[string]uint64),
 	}, nil
 }
@@ -114,11 +150,59 @@ func (t *Tree) Interval() uint64 { return t.interval }
 // read-only; its shape always matches the key tree exactly.
 func (t *Tree) Structure() *ident.Tree { return t.structure }
 
+// Ranks returns the tree's member rank table. Callers must treat it as
+// read-only: the tree is the sole allocator of ranks, assigning on join
+// and releasing on leave during Mark. Sharing the table lets per-member
+// state elsewhere (delivery records, keyring stores) index flat slices
+// by the same dense rank.
+func (t *Tree) Ranks() *ident.RankTable { return t.ranks }
+
+// unode returns the u-node for the full-length prefix key, or nil.
+func (t *Tree) unode(key string) *node {
+	r, ok := t.ranks.RankOfKey(key)
+	if !ok {
+		return nil
+	}
+	return &t.useg[r]
+}
+
+// knode returns the k-node slot for the prefix key, or nil.
+func (t *Tree) knode(key string) *node {
+	slot, ok := t.kindex[key]
+	if !ok {
+		return nil
+	}
+	return &t.kseg[slot]
+}
+
+// allocKnode returns a zeroed slot for the prefix key, reusing a freed
+// slot when one exists. Only Mark calls it, so the slab never grows
+// while Regenerate's workers hold pointers into it.
+func (t *Tree) allocKnode(key string) int32 {
+	var slot int32
+	if n := len(t.kfree); n > 0 {
+		slot = t.kfree[n-1]
+		t.kfree = t.kfree[:n-1]
+	} else {
+		slot = int32(len(t.kseg))
+		t.kseg = append(t.kseg, node{})
+	}
+	t.kseg[slot] = node{}
+	t.kindex[key] = slot
+	return slot
+}
+
+func (t *Tree) freeKnode(key string, slot int32) {
+	delete(t.kindex, key)
+	t.kseg[slot] = node{}
+	t.kfree = append(t.kfree, slot)
+}
+
 // GroupKey returns the current group key; ok is false while the group is
 // empty.
 func (t *Tree) GroupKey() (keycrypt.Key, bool) {
-	n, ok := t.knodes[ident.EmptyPrefix.Key()]
-	if !ok {
+	n := t.knode(ident.EmptyPrefix.Key())
+	if n == nil {
 		return keycrypt.Key{}, false
 	}
 	return n.key, true
@@ -126,8 +210,8 @@ func (t *Tree) GroupKey() (keycrypt.Key, bool) {
 
 // KeyOf returns the key and version of the k-node at the prefix.
 func (t *Tree) KeyOf(p ident.Prefix) (keycrypt.Key, uint64, bool) {
-	n, ok := t.knodes[p.Key()]
-	if !ok {
+	n := t.knode(p.Key())
+	if n == nil {
 		return keycrypt.Key{}, 0, false
 	}
 	return n.key, n.version, true
@@ -135,8 +219,8 @@ func (t *Tree) KeyOf(p ident.Prefix) (keycrypt.Key, uint64, bool) {
 
 // IndividualKey returns the individual key of a current user.
 func (t *Tree) IndividualKey(u ident.ID) (keycrypt.Key, bool) {
-	n, ok := t.unodes[u.Key()]
-	if !ok {
+	n := t.unode(u.Key())
+	if n == nil {
 		return keycrypt.Key{}, false
 	}
 	return n.key, true
@@ -154,15 +238,15 @@ type PathKey struct {
 // is the message the key server unicasts to a user after assigning its
 // ID.
 func (t *Tree) PathKeys(u ident.ID) ([]PathKey, error) {
-	un, ok := t.unodes[u.Key()]
-	if !ok {
+	un := t.unode(u.Key())
+	if un == nil {
 		return nil, fmt.Errorf("keytree: user %v not in tree", u)
 	}
 	out := []PathKey{{ID: u.AsPrefix(), Key: un.key, Version: un.version}}
 	for l := t.params.Digits - 1; l >= 0; l-- {
 		p := u.Prefix(l)
-		kn, ok := t.knodes[p.Key()]
-		if !ok {
+		kn := t.knode(p.Key())
+		if kn == nil {
 			return nil, fmt.Errorf("keytree: missing k-node %v on path of %v", p, u)
 		}
 		out = append(out, PathKey{ID: p, Key: kn.key, Version: kn.version})
@@ -184,7 +268,10 @@ type BatchPlan struct {
 	// Updated lists the k-nodes whose keys must change, deepest first
 	// (ties by node key) — the order encryptions appear in the Message.
 	Updated []ident.Prefix
-	spent   bool
+	// slots holds each updated node's slab slot, resolved at Mark time
+	// so Regenerate's hot loops index the slab directly.
+	slots []int32
+	spent bool
 }
 
 // Batch processes one rekey interval: J joins and L leaves, structural
@@ -238,7 +325,11 @@ func (t *Tree) Mark(joins, leaves []ident.ID) (*BatchPlan, error) {
 
 	// updated marks k-node prefixes whose keys must change: every
 	// k-node on the path from a changed u-node to the root.
-	updated := make(map[string]ident.Prefix)
+	if t.updatedScratch == nil {
+		t.updatedScratch = make(map[string]ident.Prefix)
+	}
+	clear(t.updatedScratch)
+	updated := t.updatedScratch
 	markPath := func(u ident.ID) {
 		for l := 0; l < t.params.Digits; l++ {
 			p := u.Prefix(l)
@@ -253,7 +344,9 @@ func (t *Tree) Mark(joins, leaves []ident.ID) (*BatchPlan, error) {
 		if err := t.structure.Remove(u); err != nil {
 			return nil, err
 		}
-		delete(t.unodes, u.Key())
+		if r, ok := t.ranks.Release(u); ok {
+			t.useg[r] = node{}
+		}
 	}
 	for _, u := range joins {
 		markPath(u)
@@ -262,16 +355,20 @@ func (t *Tree) Mark(joins, leaves []ident.ID) (*BatchPlan, error) {
 		}
 		epoch := t.epochs[u.Key()] + 1
 		t.epochs[u.Key()] = epoch
-		t.unodes[u.Key()] = &node{
+		r := t.ranks.Assign(u)
+		for len(t.useg) < t.ranks.Width() {
+			t.useg = append(t.useg, node{})
+		}
+		t.useg[r] = node{
 			key:     t.deriveKey("u:"+u.Key(), epoch),
 			version: epoch,
 		}
 	}
 	// Drop k-nodes pruned from the structure; create k-nodes that the
 	// structure now has but the key tree does not.
-	for key := range t.knodes {
+	for key, slot := range t.kindex {
 		if !t.structure.HasNode(ident.PrefixFromKey(key)) {
-			delete(t.knodes, key)
+			t.freeKnode(key, slot)
 			delete(updated, key)
 		}
 	}
@@ -280,8 +377,8 @@ func (t *Tree) Mark(joins, leaves []ident.ID) (*BatchPlan, error) {
 			delete(updated, key)
 			continue
 		}
-		if _, ok := t.knodes[key]; !ok {
-			t.knodes[key] = &node{} // key assigned below
+		if _, ok := t.kindex[key]; !ok {
+			t.allocKnode(key) // key material assigned by Regenerate
 		}
 	}
 
@@ -297,7 +394,11 @@ func (t *Tree) Mark(joins, leaves []ident.ID) (*BatchPlan, error) {
 		}
 		return ordered[i].Key() < ordered[j].Key()
 	})
-	return &BatchPlan{Interval: t.interval, Updated: ordered}, nil
+	slots := make([]int32, len(ordered))
+	for i, p := range ordered {
+		slots[i] = t.kindex[p.Key()]
+	}
+	return &BatchPlan{Interval: t.interval, Updated: ordered, slots: slots}, nil
 }
 
 // Regenerate is the crypto stage of a rekey interval: it bumps the
@@ -314,8 +415,8 @@ func (t *Tree) Mark(joins, leaves []ident.ID) (*BatchPlan, error) {
 // the root, which is handled as its own unit after a barrier. The
 // resulting message is byte-identical at any parallelism: derivation
 // depends only on (seed, node, version, interval), nonces are derived
-// via keycrypt.WrapSeeded, and encryptions are assembled into
-// per-node slots that are concatenated in plan order.
+// via keycrypt.WrapSeeded, and workers write encryptions into disjoint
+// precomputed ranges of one slice laid out in plan order.
 func (t *Tree) Regenerate(plan *BatchPlan, parallelism int) (*Message, error) {
 	if plan == nil || plan.spent {
 		return nil, fmt.Errorf("keytree: batch plan already regenerated")
@@ -329,22 +430,28 @@ func (t *Tree) Regenerate(plan *BatchPlan, parallelism int) (*Message, error) {
 	}
 
 	// Group the plan's node indices by level-1 subtree; the root (the
-	// only node of length 0) forms its own group. Groups touch disjoint
-	// *node structs in the update phase and are read-only in the wrap
-	// phase, so workers never contend. The knodes map itself is not
-	// mutated here — Mark already inserted every needed entry.
-	groups := make(map[string][]int)
-	groupOrder := make([]string, 0)
-	for i, p := range plan.Updated {
-		g := ""
-		if p.Len() > 0 {
-			g = p.Key()[:1] // level-1 digit
-		}
-		if _, ok := groups[g]; !ok {
-			groupOrder = append(groupOrder, g)
-		}
-		groups[g] = append(groups[g], i)
+	// only node of length 0) gets the slot past the last digit. Groups
+	// touch disjoint slab entries in the update phase and are read-only
+	// in the wrap phase, so workers never contend. The slab itself is
+	// not grown here — Mark already allocated every needed slot.
+	if t.groupIdx == nil {
+		t.groupIdx = make([][]int, t.params.Base+1)
 	}
+	for _, g := range t.groupOrder {
+		t.groupIdx[g] = t.groupIdx[g][:0]
+	}
+	t.groupOrder = t.groupOrder[:0]
+	for i, p := range plan.Updated {
+		g := t.params.Base
+		if p.Len() > 0 {
+			g = int(p.Key()[0]) // level-1 digit
+		}
+		if len(t.groupIdx[g]) == 0 {
+			t.groupOrder = append(t.groupOrder, g)
+		}
+		t.groupIdx[g] = append(t.groupIdx[g], i)
+	}
+	groupOrder := t.groupOrder
 
 	// Fan-out telemetry: one duration sample per level-1 subtree work
 	// unit per phase. The instruments are hoisted here (nil on a nil
@@ -374,7 +481,7 @@ func (t *Tree) Regenerate(plan *BatchPlan, parallelism int) (*Message, error) {
 		if workers <= 1 {
 			wr := keycrypt.NewWrapper(t.nonceSeed)
 			for _, g := range groupOrder {
-				if err := runUnit(fn, groups[g], wr); err != nil {
+				if err := runUnit(fn, t.groupIdx[g], wr); err != nil {
 					return err
 				}
 			}
@@ -393,7 +500,7 @@ func (t *Tree) Regenerate(plan *BatchPlan, parallelism int) (*Message, error) {
 					if i >= len(groupOrder) {
 						return
 					}
-					errs[i] = runUnit(fn, groups[groupOrder[i]], wr)
+					errs[i] = runUnit(fn, t.groupIdx[groupOrder[i]], wr)
 				}
 			}()
 		}
@@ -413,7 +520,7 @@ func (t *Tree) Regenerate(plan *BatchPlan, parallelism int) (*Message, error) {
 	if err := runGroups(func(indices []int, _ *keycrypt.Wrapper) error {
 		for _, i := range indices {
 			p := plan.Updated[i]
-			n := t.knodes[p.Key()]
+			n := &t.kseg[plan.slots[i]]
 			n.version++
 			n.key = t.deriveKey("k:"+p.Key(), n.version+t.interval<<32)
 		}
@@ -427,26 +534,47 @@ func (t *Tree) Regenerate(plan *BatchPlan, parallelism int) (*Message, error) {
 	// (individual keys); others are k-nodes whose keys — if they were
 	// also updated — are already the new ones, so a user unwraps its
 	// path bottom-up starting from its immutable individual key.
-	// Encryptions land in per-node slots, flattened in plan order, so
-	// the message layout is independent of worker scheduling.
-	slots := make([][]keycrypt.Encryption, len(plan.Updated))
+	// Per-node offsets into a single output slice are precomputed from
+	// the tree's child counts, so workers fill disjoint ranges and the
+	// message layout is independent of worker scheduling. The slice
+	// itself is freshly allocated — it escapes into the Message — but
+	// it is the only per-interval allocation of this phase.
+	t.offsets = t.offsets[:0]
+	total := 0
+	for _, p := range plan.Updated {
+		t.offsets = append(t.offsets, total)
+		total += t.structure.ChildCount(p)
+	}
+	offsets := t.offsets
+	encs := make([]keycrypt.Encryption, total)
 	if err := runGroups(func(indices []int, wr *keycrypt.Wrapper) error {
 		for _, i := range indices {
 			p := plan.Updated[i]
-			parent := t.knodes[p.Key()]
-			for _, d := range t.structure.ChildDigits(p) {
+			parent := &t.kseg[plan.slots[i]]
+			out := encs[offsets[i]:]
+			j := 0
+			var wErr error
+			t.structure.EachChildDigit(p, func(d ident.Digit) {
+				if wErr != nil {
+					return
+				}
 				child := p.Child(d)
 				var childKey keycrypt.Key
 				if child.Len() == t.params.Digits {
-					childKey = t.unodes[child.Key()].key
+					childKey = t.unode(child.Key()).key
 				} else {
-					childKey = t.knodes[child.Key()].key
+					childKey = t.knode(child.Key()).key
 				}
 				enc, err := t.wrap(wr, childKey, child, parent.key, p, parent.version)
 				if err != nil {
-					return err
+					wErr = err
+					return
 				}
-				slots[i] = append(slots[i], enc)
+				out[j] = enc
+				j++
+			})
+			if wErr != nil {
+				return wErr
 			}
 		}
 		return nil
@@ -454,16 +582,7 @@ func (t *Tree) Regenerate(plan *BatchPlan, parallelism int) (*Message, error) {
 		return nil, err
 	}
 
-	msg := &Message{Interval: t.interval}
-	total := 0
-	for _, s := range slots {
-		total += len(s)
-	}
-	msg.Encryptions = make([]keycrypt.Encryption, 0, total)
-	for _, s := range slots {
-		msg.Encryptions = append(msg.Encryptions, s...)
-	}
-	return msg, nil
+	return &Message{Interval: t.interval, Encryptions: encs}, nil
 }
 
 func (t *Tree) wrap(wr *keycrypt.Wrapper, kek keycrypt.Key, kekID ident.Prefix, newKey keycrypt.Key, keyID ident.Prefix, version uint64) (keycrypt.Encryption, error) {
@@ -485,14 +604,14 @@ func (t *Tree) CheckStructure() error {
 	var err error
 	t.structure.Walk(func(p ident.Prefix, size int) bool {
 		if p.Len() == t.params.Digits {
-			if _, ok := t.unodes[p.Key()]; !ok {
+			if _, ok := t.ranks.RankOfKey(p.Key()); !ok {
 				err = fmt.Errorf("keytree: missing u-node %v", p)
 				return false
 			}
 			return true
 		}
 		wantK++
-		if _, ok := t.knodes[p.Key()]; !ok {
+		if _, ok := t.kindex[p.Key()]; !ok {
 			err = fmt.Errorf("keytree: missing k-node %v", p)
 			return false
 		}
@@ -501,11 +620,11 @@ func (t *Tree) CheckStructure() error {
 	if err != nil {
 		return err
 	}
-	if len(t.knodes) != wantK {
-		return fmt.Errorf("keytree: %d k-nodes for %d internal ID-tree nodes", len(t.knodes), wantK)
+	if len(t.kindex) != wantK {
+		return fmt.Errorf("keytree: %d k-nodes for %d internal ID-tree nodes", len(t.kindex), wantK)
 	}
-	if len(t.unodes) != t.structure.Size() {
-		return fmt.Errorf("keytree: %d u-nodes for %d users", len(t.unodes), t.structure.Size())
+	if t.ranks.Len() != t.structure.Size() {
+		return fmt.Errorf("keytree: %d u-nodes for %d users", t.ranks.Len(), t.structure.Size())
 	}
 	return nil
 }

@@ -43,15 +43,17 @@ func (t *Tree) Snapshot() ([]byte, error) {
 		Real:     t.opts.RealCrypto,
 		Interval: t.interval,
 		Epochs:   t.epochs,
-		KNodes:   make(map[string]snapNode, len(t.knodes)),
-		UNodes:   make(map[string]snapNode, len(t.unodes)),
+		KNodes:   make(map[string]snapNode, len(t.kindex)),
+		UNodes:   make(map[string]snapNode, t.ranks.Len()),
 	}
-	for k, n := range t.knodes {
+	for k, slot := range t.kindex {
+		n := &t.kseg[slot]
 		s.KNodes[k] = snapNode{Key: n.key.Bytes(), Version: n.version}
 	}
-	for k, n := range t.unodes {
-		s.UNodes[k] = snapNode{Key: n.key.Bytes(), Version: n.version}
-	}
+	t.ranks.Each(func(id ident.ID, r ident.Rank) {
+		n := &t.useg[r]
+		s.UNodes[id.Key()] = snapNode{Key: n.key.Bytes(), Version: n.version}
+	})
 	var buf bytes.Buffer
 	if err := gob.NewEncoder(&buf).Encode(s); err != nil {
 		return nil, fmt.Errorf("keytree: encoding snapshot: %w", err)
@@ -91,7 +93,11 @@ func RestoreTree(data []byte) (*Tree, error) {
 		if err != nil {
 			return nil, fmt.Errorf("keytree: snapshot u-node %q key: %w", key, err)
 		}
-		t.unodes[key] = &node{key: k, version: sn.Version}
+		r := t.ranks.Assign(id)
+		for len(t.useg) < t.ranks.Width() {
+			t.useg = append(t.useg, node{})
+		}
+		t.useg[r] = node{key: k, version: sn.Version}
 	}
 	for key, sn := range s.KNodes {
 		if !t.structure.HasNode(ident.PrefixFromKey(key)) {
@@ -101,7 +107,8 @@ func RestoreTree(data []byte) (*Tree, error) {
 		if err != nil {
 			return nil, fmt.Errorf("keytree: snapshot k-node %q key: %w", key, err)
 		}
-		t.knodes[key] = &node{key: k, version: sn.Version}
+		slot := t.allocKnode(key)
+		t.kseg[slot] = node{key: k, version: sn.Version}
 	}
 	if err := t.CheckStructure(); err != nil {
 		return nil, fmt.Errorf("keytree: snapshot inconsistent: %w", err)

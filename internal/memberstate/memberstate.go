@@ -1,12 +1,20 @@
 // Package memberstate holds the key server's view of per-member client
-// state — each user's keyring and last-known group key — in a sharded,
-// mutex-striped store so the rekey pipeline's parallel apply stage can
-// update many members concurrently without a global lock.
+// state — each user's keyring and last-known group key — in a flat,
+// rank-indexed slot table so a million members cost a million fixed-size
+// slots instead of a million string-keyed map entries.
 //
-// The store guards its own maps; the *keytree.Keyring values themselves
-// are not synchronized. The pipeline preserves safety by partitioning
-// work so each user is touched by exactly one worker per stage, which
-// is the natural shape anyway: one keyring belongs to one user.
+// The store owns a private ident.RankTable: a member is assigned a dense
+// rank on first touch and releases it on Remove, so the slot slice stops
+// growing once membership reaches its high-water mark and freed slots
+// are reused under churn. A read-write lock guards membership changes
+// (rank assignment, slot-slice growth); steady-state per-member reads
+// and writes take only the read side, so the rekey pipeline's parallel
+// apply stage scales as it did with the previous mutex-striped shards.
+//
+// The slot contents and the *keytree.Keyring values are not themselves
+// synchronized. The pipeline preserves safety by partitioning work so
+// each user is touched by exactly one worker per stage, which is the
+// natural shape anyway: one keyring belongs to one user.
 package memberstate
 
 import (
@@ -18,135 +26,118 @@ import (
 	"tmesh/internal/keytree"
 )
 
-// shardCount is the number of mutex stripes. A modest power of two is
-// plenty: contention only occurs when two workers hash to the same
-// stripe at the same instant, and apply workers are bounded.
-const shardCount = 64
-
-type entry struct {
+type slot struct {
 	keyring  *keytree.Keyring
 	groupKey keycrypt.Key
 	hasGroup bool
 }
 
-type shard struct {
-	mu      sync.RWMutex
-	entries map[string]*entry
-}
-
-// Store is a sharded map from user ID to member state. The zero value
-// is not usable; call NewStore.
+// Store maps user IDs to member state through dense ranks. The zero
+// value is not usable; call NewStore.
 type Store struct {
-	shards [shardCount]shard
+	mu    sync.RWMutex
+	ranks *ident.RankTable
+	slots []slot
 }
 
 // NewStore creates an empty store.
-func NewStore() *Store {
-	s := &Store{}
-	for i := range s.shards {
-		s.shards[i].entries = make(map[string]*entry)
+func NewStore() *Store { return NewStoreSized(0) }
+
+// NewStoreSized creates an empty store pre-sized for an expected member
+// count, so large soaks pay for slot growth once up front.
+func NewStoreSized(capacityHint int) *Store {
+	if capacityHint < 0 {
+		capacityHint = 0
 	}
-	return s
+	return &Store{
+		ranks: ident.NewRankTable(capacityHint),
+		slots: make([]slot, 0, capacityHint),
+	}
 }
 
-// fnv1a hashes the ID key string (FNV-1a, 32-bit).
-func fnv1a(key string) uint32 {
-	h := uint32(2166136261)
-	for i := 0; i < len(key); i++ {
-		h ^= uint32(key[i])
-		h *= 16777619
+// withSlot runs fn on the member's slot, assigning a rank (and growing
+// the slot slice) on first touch. Fast path: rank already assigned, so
+// fn runs under the read lock — concurrent writers to distinct slots do
+// not contend, and the lock keeps the slice from being regrown out from
+// under the write.
+func (s *Store) withSlot(u ident.ID, fn func(*slot)) {
+	s.mu.RLock()
+	if r, ok := s.ranks.RankOf(u); ok {
+		fn(&s.slots[r])
+		s.mu.RUnlock()
+		return
 	}
-	return h
-}
-
-func (s *Store) shardFor(key string) *shard {
-	return &s.shards[fnv1a(key)%shardCount]
-}
-
-func (sh *shard) getOrCreate(key string) *entry {
-	e, ok := sh.entries[key]
-	if !ok {
-		e = &entry{}
-		sh.entries[key] = e
+	s.mu.RUnlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r := s.ranks.Assign(u)
+	for len(s.slots) < s.ranks.Width() {
+		s.slots = append(s.slots, slot{})
 	}
-	return e
+	fn(&s.slots[r])
 }
 
 // PutKeyring installs (or replaces) a user's keyring.
 func (s *Store) PutKeyring(u ident.ID, kr *keytree.Keyring) {
-	sh := s.shardFor(u.Key())
-	sh.mu.Lock()
-	sh.getOrCreate(u.Key()).keyring = kr
-	sh.mu.Unlock()
+	s.withSlot(u, func(sl *slot) { sl.keyring = kr })
 }
 
 // Keyring returns a user's keyring, or nil if the user has none.
 func (s *Store) Keyring(u ident.ID) *keytree.Keyring {
-	sh := s.shardFor(u.Key())
-	sh.mu.RLock()
-	defer sh.mu.RUnlock()
-	e, ok := sh.entries[u.Key()]
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	r, ok := s.ranks.RankOf(u)
 	if !ok {
 		return nil
 	}
-	return e.keyring
+	return s.slots[r].keyring
 }
 
 // SetGroupKey records the group key a user currently holds.
 func (s *Store) SetGroupKey(u ident.ID, k keycrypt.Key) {
-	sh := s.shardFor(u.Key())
-	sh.mu.Lock()
-	e := sh.getOrCreate(u.Key())
-	e.groupKey = k
-	e.hasGroup = true
-	sh.mu.Unlock()
+	s.withSlot(u, func(sl *slot) {
+		sl.groupKey = k
+		sl.hasGroup = true
+	})
 }
 
 // GroupKey returns the group key a user holds; ok is false if the user
 // has never received one.
 func (s *Store) GroupKey(u ident.ID) (keycrypt.Key, bool) {
-	sh := s.shardFor(u.Key())
-	sh.mu.RLock()
-	defer sh.mu.RUnlock()
-	e, ok := sh.entries[u.Key()]
-	if !ok || !e.hasGroup {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	r, ok := s.ranks.RankOf(u)
+	if !ok || !s.slots[r].hasGroup {
 		return keycrypt.Key{}, false
 	}
-	return e.groupKey, true
+	return s.slots[r].groupKey, true
 }
 
-// Remove deletes all state for a user.
+// Remove deletes all state for a user, releasing its rank for reuse.
 func (s *Store) Remove(u ident.ID) {
-	sh := s.shardFor(u.Key())
-	sh.mu.Lock()
-	delete(sh.entries, u.Key())
-	sh.mu.Unlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if r, ok := s.ranks.Release(u); ok {
+		s.slots[r] = slot{}
+	}
 }
 
 // Len returns the number of users with any recorded state.
 func (s *Store) Len() int {
-	n := 0
-	for i := range s.shards {
-		sh := &s.shards[i]
-		sh.mu.RLock()
-		n += len(sh.entries)
-		sh.mu.RUnlock()
-	}
-	return n
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.ranks.Len()
 }
 
 // Keys returns the ID keys of all users with state, sorted, so callers
-// can iterate deterministically regardless of shard layout.
+// can iterate deterministically regardless of rank assignment order.
 func (s *Store) Keys() []string {
-	out := make([]string, 0, s.Len())
-	for i := range s.shards {
-		sh := &s.shards[i]
-		sh.mu.RLock()
-		for k := range sh.entries {
-			out = append(out, k)
-		}
-		sh.mu.RUnlock()
-	}
+	s.mu.RLock()
+	out := make([]string, 0, s.ranks.Len())
+	s.ranks.Each(func(id ident.ID, _ ident.Rank) {
+		out = append(out, id.Key())
+	})
+	s.mu.RUnlock()
 	sort.Strings(out)
 	return out
 }

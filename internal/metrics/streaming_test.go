@@ -1,0 +1,108 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// relErr compares an estimate to the exact value, scaling by the
+// population spread so uniform-near-zero cases don't blow up.
+func relErr(got, want, spread float64) float64 {
+	return math.Abs(got-want) / spread
+}
+
+// TestStreamingQuantileAccuracy pins the P² estimator against exact
+// percentiles for several sample shapes: the estimator must stay within
+// 2% of the population spread of the true value at 100k samples.
+func TestStreamingQuantileAccuracy(t *testing.T) {
+	const n = 100_000
+	shapes := map[string]func(r *rand.Rand) float64{
+		"uniform":   func(r *rand.Rand) float64 { return r.Float64() * 1000 },
+		"normal":    func(r *rand.Rand) float64 { return 500 + 120*r.NormFloat64() },
+		"lognormal": func(r *rand.Rand) float64 { return math.Exp(1 + 0.5*r.NormFloat64()) },
+		"latency-ish (exp)": func(r *rand.Rand) float64 {
+			return r.ExpFloat64() * 20 // heavy tail, like hop latencies
+		},
+	}
+	for name, draw := range shapes {
+		for _, q := range []float64{0.5, 0.9, 0.95, 0.99} {
+			r := rand.New(rand.NewSource(7))
+			sq := NewStreamingQuantile(q)
+			samples := make([]float64, 0, n)
+			for i := 0; i < n; i++ {
+				x := draw(r)
+				sq.Observe(x)
+				samples = append(samples, x)
+			}
+			d := NewDistribution(samples)
+			exact := d.Percentile(q * 100)
+			spread := d.Max() - d.Percentile(1)
+			if spread <= 0 {
+				spread = 1
+			}
+			if e := relErr(sq.Value(), exact, spread); e > 0.02 {
+				t.Errorf("%s q=%v: P² %.4f vs exact %.4f (err %.4f of spread)",
+					name, q, sq.Value(), exact, e)
+			}
+			if sq.Count() != n {
+				t.Errorf("%s q=%v: count %d, want %d", name, q, sq.Count(), n)
+			}
+		}
+	}
+}
+
+// TestStreamingQuantileSmallStreams checks the exact-mode path (< 5
+// samples) and the empty case.
+func TestStreamingQuantileSmallStreams(t *testing.T) {
+	sq := NewStreamingQuantile(0.5)
+	if sq.Value() != 0 {
+		t.Fatalf("empty estimator Value = %v, want 0", sq.Value())
+	}
+	for _, x := range []float64{30, 10, 20} {
+		sq.Observe(x)
+	}
+	if got := sq.Value(); got != 20 {
+		t.Fatalf("median of {10,20,30} = %v, want exact 20", got)
+	}
+}
+
+// TestStreamingSummaryMatchesSummarize compares the streaming summary's
+// headline numbers to Summarize over the same samples.
+func TestStreamingSummaryMatchesSummarize(t *testing.T) {
+	const n = 50_000
+	r := rand.New(rand.NewSource(11))
+	ss := NewStreamingSummary()
+	samples := make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		x := 50 + 10*r.NormFloat64()
+		ss.Observe(x)
+		samples = append(samples, x)
+	}
+	d := NewDistribution(samples)
+	exact := Summarize(d)
+	got := ss.Summary()
+
+	if got.N != exact.N {
+		t.Fatalf("N = %d, want %d", got.N, exact.N)
+	}
+	if math.Abs(got.Mean-exact.Mean) > 1e-6 {
+		t.Fatalf("Mean = %v, want %v", got.Mean, exact.Mean)
+	}
+	if got.Max != exact.Max {
+		t.Fatalf("Max = %v, want %v", got.Max, exact.Max)
+	}
+	spread := d.Max() - d.Percentile(1)
+	for _, c := range []struct {
+		name       string
+		got, exact float64
+	}{
+		{"Median", got.Median, exact.Median},
+		{"P90", got.P90, exact.P90},
+		{"P95", got.P95, exact.P95},
+	} {
+		if e := relErr(c.got, c.exact, spread); e > 0.02 {
+			t.Errorf("%s = %v, want ~%v (err %.4f of spread)", c.name, c.got, c.exact, e)
+		}
+	}
+}

@@ -76,6 +76,14 @@ type LadderConfig struct {
 	// and rungs 2-3 add unicast/resync records, so the
 	// multicast→unicast→resync fallback reads as one causal chain.
 	Trace *trace.Trace
+	// Arena, when non-nil, recycles the rung-1 transport's delivery
+	// records across intervals. Reuse invalidates the previous
+	// LadderResult's Multicast field — see tmesh.Arena.
+	Arena *tmesh.Arena
+	// SplitArena, when non-nil, recycles the PerEncryption split
+	// compiler's working state across intervals. Reuse invalidates the
+	// previous interval's compiled index — see split.CompileArena.
+	SplitArena *split.CompileArena[keycrypt.Encryption]
 }
 
 // Rung identifies which step of the ladder delivered the key.
@@ -192,9 +200,10 @@ func DistributeLadder(cfg LadderConfig, msg *keytree.Message) (*LadderResult, er
 		Obs:            cfg.Obs,
 		Trace:          cfg.Trace,
 		TraceItems:     split.EncIDs,
+		Arena:          cfg.Arena,
 	}
 	if cfg.Mode == split.PerEncryption {
-		tcfg.SplitHop = split.NewIndex(cfg.Dir.Tree(), msg.Encryptions, cfg.SplitParallelism).Split
+		tcfg.SplitHop = split.NewIndexWith(cfg.Dir.Tree(), msg.Encryptions, cfg.SplitParallelism, cfg.SplitArena).Split
 	}
 	res, err := tmesh.Multicast(tcfg, msg.Encryptions)
 	if err != nil {

@@ -48,11 +48,50 @@ type table[T any] struct {
 // markFunc enumerates the encryption IDs carried by item i.
 type markFunc func(i int, mark func(ident.Prefix))
 
+// CompileArena recycles the working state of successive compilations —
+// the per-worker DFS walkers with their word-set slabs, result maps, and
+// materialisation chunks, plus the shared mark map — so a soak compiling
+// one index per rekey interval sizes this state once instead of once per
+// interval. Building a new index from an arena REUSES the chunks that
+// back the previous index's slices, so it invalidates every index
+// previously compiled from the same arena; keep one arena per family of
+// sequentially compiled indexes. The zero value is not usable; call
+// NewCompileArena. Not safe for concurrent compilations.
+type CompileArena[T any] struct {
+	marks   map[string]nodeBits
+	walkers []*walker[T]
+	merged  map[string][]T // reused merge target for parallel builds
+}
+
+// NewCompileArena creates an empty compile arena.
+func NewCompileArena[T any]() *CompileArena[T] {
+	return &CompileArena[T]{marks: make(map[string]nodeBits, 64)}
+}
+
+// walkerFor returns worker w's recycled walker, or nil on a fresh (or
+// nil) arena slot.
+func (a *CompileArena[T]) walkerFor(w int) *walker[T] {
+	if a == nil || w >= len(a.walkers) {
+		return nil
+	}
+	return a.walkers[w]
+}
+
+func (a *CompileArena[T]) store(w int, wk *walker[T]) {
+	if a == nil {
+		return
+	}
+	for len(a.walkers) <= w {
+		a.walkers = append(a.walkers, nil)
+	}
+	a.walkers[w] = wk
+}
+
 // compileTable builds the lookup for all nodes of the tree, fanning the
 // per-level-1-subtree walks out over up to `workers` goroutines. The
 // table's contents are a pure function of (tree, items), independent of
-// the worker count.
-func compileTable[T any](tree *ident.Tree, items []T, ids markFunc, workers int) table[T] {
+// the worker count and of arena reuse. ar may be nil (allocate fresh).
+func compileTable[T any](tree *ident.Tree, items []T, ids markFunc, workers int, ar *CompileArena[T]) table[T] {
 	if tree == nil || tree.Size() == 0 || len(items) == 0 {
 		// Nothing to compile; lookups fall back to filtering.
 		return table[T]{slices: make(map[string][]T)}
@@ -61,7 +100,13 @@ func compileTable[T any](tree *ident.Tree, items []T, ids markFunc, workers int)
 	// One combined entry per marked node keeps the DFS at a single map
 	// lookup per visited node. Word-sets are carved from a shared slab —
 	// there is one per distinct encryption ID.
-	marks := make(map[string]nodeBits, 64)
+	var marks map[string]nodeBits
+	if ar != nil {
+		clear(ar.marks)
+		marks = ar.marks
+	} else {
+		marks = make(map[string]nodeBits, 64)
+	}
 	var bitSlab []uint64
 	setBit := func(key string, i int, hoist bool) {
 		nb := marks[key]
@@ -106,12 +151,23 @@ func compileTable[T any](tree *ident.Tree, items []T, ids markFunc, workers int)
 	rootExact := marks[ident.EmptyPrefix.Key()].exact
 	hint := tree.NodeCount()/workers + 8
 	results := make([]map[string][]T, workers)
+	wks := make([]*walker[T], workers)
+	for w := range wks {
+		if wk := ar.walkerFor(w); wk != nil {
+			wk.reset(tree, items, words, marks)
+			wks[w] = wk
+		}
+	}
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			wk := newWalker(tree, items, words, marks, hint)
+			wk := wks[w]
+			if wk == nil {
+				wk = newWalker(tree, items, words, marks, hint)
+				wks[w] = wk
+			}
 			// Level-1 nodes inherit the root's exact bits on their
 			// path: a root-ID encryption is a prefix of everything.
 			copyBits(wk.path[1], rootExact)
@@ -122,12 +178,25 @@ func compileTable[T any](tree *ident.Tree, items []T, ids markFunc, workers int)
 		}(w)
 	}
 	wg.Wait()
+	if ar != nil {
+		for w, wk := range wks {
+			ar.store(w, wk)
+		}
+	}
 	// The workers' key sets are disjoint (distinct level-1 subtrees), so
 	// a single worker's map can serve as the table directly; merging only
 	// happens for parallel builds.
 	slices := results[0]
 	if workers > 1 {
-		slices = make(map[string][]T, tree.NodeCount()+1)
+		if ar != nil {
+			if ar.merged == nil {
+				ar.merged = make(map[string][]T, tree.NodeCount()+1)
+			}
+			clear(ar.merged)
+			slices = ar.merged
+		} else {
+			slices = make(map[string][]T, tree.NodeCount()+1)
+		}
 		for _, m := range results {
 			for k, v := range m {
 				slices[k] = v
@@ -153,35 +222,54 @@ type nodeBits struct {
 // scratch (reused across the whole walk) and the arena the relevant
 // slices are carved from.
 type walker[T any] struct {
-	tree  *ident.Tree
-	items []T
-	words int
-	marks map[string]nodeBits
-	path  [][]uint64 // path[d]: IDs that are strict prefixes of the depth-d node
-	sub   [][]uint64 // sub[d]: scratch for the depth-d subtree union
-	rel   []uint64
-	arena []T
-	out   map[string][]T
+	tree   *ident.Tree
+	items  []T
+	words  int
+	marks  map[string]nodeBits
+	slab   []uint64   // backing storage for path/sub/rel, reused across compiles
+	path   [][]uint64 // path[d]: IDs that are strict prefixes of the depth-d node
+	sub    [][]uint64 // sub[d]: scratch for the depth-d subtree union
+	rel    []uint64
+	chunks [][]T // materialisation arenas, rewound (not freed) on reset
+	ci     int   // chunk currently being filled
+	out    map[string][]T
 }
 
 func newWalker[T any](tree *ident.Tree, items []T, words int, marks map[string]nodeBits, hint int) *walker[T] {
+	w := &walker[T]{out: make(map[string][]T, hint)}
+	w.reset(tree, items, words, marks)
+	return w
+}
+
+// reset rebinds a recycled walker to a new compilation, reusing its
+// word-set slab, result map, and materialisation chunks when they are
+// large enough. The slices handed out by the previous compile alias the
+// rewound chunks, so resetting invalidates them.
+func (w *walker[T]) reset(tree *ident.Tree, items []T, words int, marks map[string]nodeBits) {
+	w.tree, w.items, w.words, w.marks = tree, items, words, marks
 	depths := tree.Params().Digits + 1
-	slab := make([]uint64, (2*depths+1)*words)
-	w := &walker[T]{
-		tree:  tree,
-		items: items,
-		words: words,
-		marks: marks,
-		path:  make([][]uint64, depths),
-		sub:   make([][]uint64, depths),
-		out:   make(map[string][]T, hint),
+	if need := (2*depths + 1) * words; cap(w.slab) < need {
+		w.slab = make([]uint64, need)
+	} else {
+		w.slab = w.slab[:need]
 	}
+	if cap(w.path) < depths {
+		w.path = make([][]uint64, depths)
+		w.sub = make([][]uint64, depths)
+	} else {
+		w.path, w.sub = w.path[:depths], w.sub[:depths]
+	}
+	slab := w.slab
 	for d := 0; d < depths; d++ {
 		w.path[d], slab = slab[:words], slab[words:]
 		w.sub[d], slab = slab[:words], slab[words:]
 	}
 	w.rel = slab[:words]
-	return w
+	clear(w.out)
+	if len(w.chunks) > 0 {
+		w.ci = 0
+		w.chunks[0] = w.chunks[0][:0]
+	}
 }
 
 // walk visits the subtree rooted at p (depth == p.Len(), with
@@ -218,15 +306,12 @@ func (w *walker[T]) materialize(rel []uint64) []T {
 	if n == 0 {
 		return nil
 	}
-	if cap(w.arena)-len(w.arena) < n {
-		size := arenaChunk
-		if n > size {
-			size = n
-		}
-		w.arena = make([]T, 0, size)
+	if len(w.chunks) == 0 || cap(w.chunks[w.ci])-len(w.chunks[w.ci]) < n {
+		w.nextChunk(n)
 	}
-	off := len(w.arena)
-	sel := w.arena[off : off : off+n]
+	cur := w.chunks[w.ci]
+	off := len(cur)
+	sel := cur[off : off : off+n]
 	for wi, word := range rel {
 		base := wi << 6
 		// Relevant items are usually contiguous in message order (keys
@@ -242,8 +327,30 @@ func (w *walker[T]) materialize(rel []uint64) []T {
 			word &^= 1<<uint(start+run) - 1
 		}
 	}
-	w.arena = w.arena[:off+n]
+	w.chunks[w.ci] = cur[:off+n]
 	return sel
+}
+
+// nextChunk advances to a chunk with room for n items: the next recycled
+// chunk that is big enough, else a fresh allocation appended to the
+// chunk list.
+func (w *walker[T]) nextChunk(n int) {
+	if len(w.chunks) > 0 {
+		w.ci++
+	}
+	for w.ci < len(w.chunks) {
+		if cap(w.chunks[w.ci]) >= n {
+			w.chunks[w.ci] = w.chunks[w.ci][:0]
+			return
+		}
+		w.ci++
+	}
+	size := arenaChunk
+	if n > size {
+		size = n
+	}
+	w.chunks = append(w.chunks, make([]T, 0, size))
+	w.ci = len(w.chunks) - 1
 }
 
 // copyBits sets dst to src, treating a nil src as all-zero.
@@ -277,9 +384,16 @@ type Index struct {
 // NewIndex compiles the split decisions of the message's encryptions,
 // using up to `workers` goroutines (values < 1 mean 1).
 func NewIndex(tree *ident.Tree, encs []keycrypt.Encryption, workers int) *Index {
+	return NewIndexWith(tree, encs, workers, nil)
+}
+
+// NewIndexWith is NewIndex compiling through a reusable arena (nil means
+// allocate fresh). Reusing the arena invalidates every Index previously
+// compiled from it — see CompileArena.
+func NewIndexWith(tree *ident.Tree, encs []keycrypt.Encryption, workers int, ar *CompileArena[keycrypt.Encryption]) *Index {
 	return &Index{table: compileTable(tree, encs, func(i int, mark func(ident.Prefix)) {
 		mark(encs[i].ID)
-	}, workers)}
+	}, workers, ar)}
 }
 
 // Split returns the encryptions relevant to the subtree — byte-identical
@@ -302,11 +416,18 @@ type PacketIndex struct {
 // NewPacketIndex compiles the packet-level split decisions, using up to
 // `workers` goroutines (values < 1 mean 1).
 func NewPacketIndex(tree *ident.Tree, pkts []Packet, workers int) *PacketIndex {
+	return NewPacketIndexWith(tree, pkts, workers, nil)
+}
+
+// NewPacketIndexWith is NewPacketIndex compiling through a reusable
+// arena (nil means allocate fresh). Reusing the arena invalidates every
+// PacketIndex previously compiled from it — see CompileArena.
+func NewPacketIndexWith(tree *ident.Tree, pkts []Packet, workers int, ar *CompileArena[Packet]) *PacketIndex {
 	return &PacketIndex{table: compileTable(tree, pkts, func(i int, mark func(ident.Prefix)) {
 		for _, e := range pkts[i] {
 			mark(e.ID)
 		}
-	}, workers)}
+	}, workers, ar)}
 }
 
 // Split returns the packets relevant to the subtree — byte-identical to

@@ -116,6 +116,54 @@ func TestCompiledIndexMatchesFilter(t *testing.T) {
 	}
 }
 
+// TestCompileArenaReuseMatchesFilter recompiles a long sequence of
+// random worlds through one shared arena — varying tree shape, message
+// size, and parallelism between compiles so slabs, chunks, and maps are
+// recycled at mismatched sizes — and checks each fresh index against the
+// legacy filter at every tree node. Only the most recent index is
+// queried: arena reuse invalidates its predecessors by contract.
+func TestCompileArenaReuseMatchesFilter(t *testing.T) {
+	params := ident.Params{Digits: 4, Base: 4}
+	rng := rand.New(rand.NewSource(202))
+	ar := NewCompileArena[keycrypt.Encryption]()
+	for trial := 0; trial < 80; trial++ {
+		members := rng.Intn(30) + 1
+		encCount := rng.Intn(50)
+		tree, encs := randSplitWorld(t, rng, params, members, encCount)
+		workers := []int{1, 8, 3}[trial%3]
+		ix := NewIndexWith(tree, encs, workers, ar)
+		check := func(q ident.Prefix) {
+			got := ix.Split(encs, q)
+			want := Filter(encs, q)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("trial %d workers %d subtree %v: compiled %v != filter %v",
+					trial, workers, q, EncIDs(got), EncIDs(want))
+			}
+		}
+		tree.Walk(func(p ident.Prefix, _ int) bool { check(p); return true })
+		check(ident.EmptyPrefix)
+		for i := 0; i < 15; i++ {
+			check(randPrefixOf(t, rng, params))
+		}
+	}
+
+	// Packet-granularity arena, same reuse pattern.
+	par := NewCompileArena[Packet]()
+	for trial := 0; trial < 40; trial++ {
+		tree, encs := randSplitWorld(t, rng, params, rng.Intn(30)+1, rng.Intn(60))
+		pkts := Packetize(encs, rng.Intn(6)+1)
+		workers := []int{8, 1}[trial%2]
+		ix := NewPacketIndexWith(tree, pkts, workers, par)
+		tree.Walk(func(p ident.Prefix, _ int) bool {
+			if !reflect.DeepEqual(ix.Split(pkts, p), FilterPackets(pkts, p)) {
+				t.Fatalf("packet trial %d workers %d subtree %v: compiled split diverged",
+					trial, workers, p)
+			}
+			return true
+		})
+	}
+}
+
 // TestCompiledPacketIndexMatchesFilterPackets is the packet-granularity
 // analogue of TestCompiledIndexMatchesFilter.
 func TestCompiledPacketIndexMatchesFilterPackets(t *testing.T) {

@@ -35,7 +35,22 @@ type GTITMConfig struct {
 	// AccessDelay bounds the per-host access-link RTT (host to its
 	// gateway stub router), drawn uniformly from [Min, Max].
 	AccessDelayMin, AccessDelayMax time.Duration
+	// SPTCacheCap bounds the number of per-source shortest-path trees
+	// held in memory at once: 0 means DefaultSPTCacheCap, a negative
+	// value means unbounded (the pre-cap behavior), and a positive value
+	// is an explicit cap. Each tree costs O(routers), so an unbounded
+	// cache quietly materialises all-pairs state as every host sources a
+	// multicast at least once; the cap evicts the oldest tree and lets a
+	// later request recompute it — results are pure functions of the
+	// topology, so eviction never changes an answer.
+	SPTCacheCap int
 }
+
+// DefaultSPTCacheCap bounds the SPT cache when GTITMConfig.SPTCacheCap
+// is zero. At the paper's 5000-router topology a tree is ~80 KB, so the
+// default caps cache memory near 80 MB while still covering every
+// concurrently active multicast source.
+const DefaultSPTCacheCap = 1024
 
 // DefaultGTITMConfig is the paper's topology: 5000 routers, 13000 links.
 func DefaultGTITMConfig() GTITMConfig {
@@ -84,10 +99,14 @@ type GTITM struct {
 	// shared by every concurrent reader. The map is guarded by an
 	// RWMutex (read-locked on the hit path); each entry carries its own
 	// sync.Once so Dijkstra runs outside the map lock, exactly once per
-	// source, and distinct sources compute in parallel without
-	// convoying behind one global lock.
-	mu   sync.RWMutex
-	spts map[int32]*sptEntry // shortest-path trees keyed by source router
+	// live entry, and distinct sources compute in parallel without
+	// convoying behind one global lock. The cache is bounded by
+	// cfg.SPTCacheCap with FIFO eviction (sptOrder tracks insertion);
+	// callers holding an evicted entry finish their computation on it
+	// safely — the entry just stops being shared.
+	mu       sync.RWMutex
+	spts     map[int32]*sptEntry // shortest-path trees keyed by source router
+	sptOrder []int32             // insertion order, oldest first
 }
 
 var _ Network = (*GTITM)(nil)
@@ -324,10 +343,27 @@ func (g *GTITM) PathLinksOK(a, b HostID) ([]LinkID, bool) {
 	return path, true
 }
 
+// sptCap resolves the configured cache bound: 0 -> default, < 0 ->
+// unbounded.
+func (g *GTITM) sptCap() int {
+	switch {
+	case g.cfg.SPTCacheCap == 0:
+		return DefaultSPTCacheCap
+	case g.cfg.SPTCacheCap < 0:
+		return 0 // unbounded
+	default:
+		return g.cfg.SPTCacheCap
+	}
+}
+
 // sptFor returns the shortest-path tree rooted at src, computing it at
-// most once. The fast path is a read lock on the cache map; a miss
-// installs an empty entry under the write lock and runs Dijkstra under
-// the entry's own once, outside the map lock.
+// most once per cache residency. The fast path is a read lock on the
+// cache map; a miss installs an empty entry under the write lock —
+// evicting the oldest entries beyond the cap — and runs Dijkstra under
+// the entry's own once, outside the map lock. An evicted-while-running
+// entry completes for the callers already holding it; a later request
+// for that source recomputes, which is safe because trees are pure
+// functions of the topology.
 func (g *GTITM) sptFor(src int32) *spt {
 	g.mu.RLock()
 	e := g.spts[src]
@@ -340,6 +376,14 @@ func (g *GTITM) sptFor(src int32) *spt {
 		if e = g.spts[src]; e == nil {
 			e = &sptEntry{}
 			g.spts[src] = e
+			g.sptOrder = append(g.sptOrder, src)
+			if limit := g.sptCap(); limit > 0 {
+				for len(g.spts) > limit && len(g.sptOrder) > 1 {
+					oldest := g.sptOrder[0]
+					g.sptOrder = g.sptOrder[1:]
+					delete(g.spts, oldest)
+				}
+			}
 		}
 		g.mu.Unlock()
 	}

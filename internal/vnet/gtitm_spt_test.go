@@ -42,6 +42,78 @@ func TestGTITMPathLinksDisconnected(t *testing.T) {
 	}
 }
 
+// TestGTITMSPTCacheBounded checks the FIFO cap: the cache never exceeds
+// the configured size, evicted sources recompute to identical answers,
+// and a negative cap restores the unbounded behavior.
+func TestGTITMSPTCacheBounded(t *testing.T) {
+	cfg := GTITMConfig{
+		TransitDomains:   2,
+		TransitPerDomain: 2,
+		StubsPerTransit:  2,
+		TotalRouters:     60,
+		TotalLinks:       120,
+		AccessDelayMin:   time.Millisecond,
+		AccessDelayMax:   2 * time.Millisecond,
+		SPTCacheCap:      2,
+	}
+	g, err := NewGTITM(cfg, 16, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := NewGTITM(cfg, 16, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := g.NumHosts()
+	// First pass touches every source, far exceeding the cap; second
+	// pass revisits evicted sources. Answers must match an identically
+	// seeded reference both times.
+	for pass := 0; pass < 2; pass++ {
+		for a := 0; a < n; a++ {
+			for b := 0; b < n; b++ {
+				got := g.GatewayRTT(HostID(a), HostID(b))
+				want := ref.GatewayRTT(HostID(a), HostID(b))
+				if got != want {
+					t.Fatalf("pass %d: GatewayRTT(%d,%d) = %v, want %v", pass, a, b, got, want)
+				}
+			}
+			g.mu.RLock()
+			size, order := len(g.spts), len(g.sptOrder)
+			g.mu.RUnlock()
+			if size > cfg.SPTCacheCap {
+				t.Fatalf("cache holds %d trees, cap %d", size, cfg.SPTCacheCap)
+			}
+			if size != order {
+				t.Fatalf("cache/order out of sync: %d trees, %d order entries", size, order)
+			}
+		}
+	}
+
+	// Unbounded (< 0): every distinct source stays resident.
+	cfg.SPTCacheCap = -1
+	ub, err := NewGTITM(cfg, 16, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	distinct := map[int32]bool{}
+	for a := 0; a < n; a++ {
+		for b := 0; b < n; b++ {
+			ub.GatewayRTT(HostID(a), HostID(b))
+		}
+		if r := ub.hostRouter[a]; true {
+			distinct[r] = true
+		}
+	}
+	ub.mu.RLock()
+	size := len(ub.spts)
+	ub.mu.RUnlock()
+	// Hosts sharing a gateway with host b==a contribute no tree; every
+	// distinct gateway that ever sourced a lookup must still be cached.
+	if size < len(distinct)-1 {
+		t.Fatalf("unbounded cache holds %d trees for %d distinct gateways", size, len(distinct))
+	}
+}
+
 // TestGTITMSPTCacheConcurrent hammers the lazily filled SPT cache from
 // many goroutines (run under -race by make ci) and checks every answer
 // against an identically seeded, serially queried topology.
