@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 5s
 
-.PHONY: ci build vet test race bench bench-rekey bench-hot bench-mem soak-short soak-transport soak-metrics soak-scale trace-audit fuzz
+.PHONY: ci build vet test race bench bench-rekey bench-hot bench-mem soak-short soak-transport soak-metrics soak-scale soak-multigroup trace-audit fuzz
 
 # ci is the full verification gate: static checks, the race detector
 # over the whole tree (the parallel experiment harness in internal/exp
@@ -11,8 +11,10 @@ FUZZTIME ?= 5s
 # endpoints), a short fuzz pass over the wire decoders, the
 # flight-recorder theorem audit over a freshly traced soak, the
 # hot-path benchmark gate (the compiled hop filter must stay at
-# 0 allocs/op), the memory-budget gate, and the N=100k scale soak.
-ci: vet race soak-transport fuzz trace-audit bench-hot bench-mem soak-scale
+# 0 allocs/op), the memory-budget gate, the N=100k scale soak, and the
+# multi-group tenancy soak (16 groups on one shared pool, 100k-join
+# flash crowd, cross-width replay).
+ci: vet race soak-transport fuzz trace-audit bench-hot bench-mem soak-scale soak-multigroup
 
 build:
 	$(GO) build ./...
@@ -114,6 +116,16 @@ bench-mem:
 #
 soak-scale:
 	$(GO) run ./cmd/rekeysim -soak -soak-n 100000 -soak-intervals 6
+
+# soak-multigroup is the multi-group tenancy soak (internal/grouphost):
+# 16 groups — a 100k-join flash crowd, a 10k mass join+leave, and 14
+# full-protocol groups (half under Appendix B cluster rekeying) on one
+# shared GT-ITM topology — multiplexed over one shared worker pool with
+# staggered rekey boundaries. Every interval runs the five paper
+# auditors per group, then the whole host replays at pool width 1 and
+# the reports must be byte-identical.
+soak-multigroup:
+	$(GO) run ./cmd/rekeysim -soak -groups 16 -flash-joins 100000 -mass-churn 10000 -soak-intervals 4 -soak-rekey-parallelism 4
 
 # bench-rekey compares the staged rekey pipeline sequential vs parallel
 # at N=4096 members with real AES-GCM: key regeneration across level-1

@@ -39,7 +39,10 @@ import (
 	"tmesh/internal/assign"
 	"tmesh/internal/chaos"
 	"tmesh/internal/exp"
+	"tmesh/internal/grouphost"
 	"tmesh/internal/obs"
+	"tmesh/internal/work"
+	"tmesh/internal/workload"
 )
 
 func main() {
@@ -64,6 +67,10 @@ func run(args []string) int {
 		soakN         = fs.Int("soak-n", 0, "run the key-management scale soak at this many members instead of the network soak (requires -soak)")
 		soakChurn     = fs.Int("soak-churn", 0, "override the scale soak's per-interval leave/rejoin count (requires -soak-n)")
 
+		soakGroups = fs.Int("groups", 0, "run the multi-group tenancy soak with this many groups sharing one topology, worker pool, and staggered scheduler (requires -soak)")
+		flashJoins = fs.Int("flash-joins", 0, "override the tenancy soak's flash-crowd size: this many joins land in one rekey interval (requires -groups)")
+		massChurn  = fs.Int("mass-churn", 0, "override the tenancy soak's mass join+leave quota per interval (requires -groups)")
+
 		daemon          = fs.Bool("daemon", false, "run the socket daemon soak (internal/rekeyd nodes over internal/transport sockets) instead of an experiment")
 		transportKind   = fs.String("transport", "loopback", "daemon fabric: sim, loopback, udp, or tcp; sim delegates to the simulator soak (requires -daemon)")
 		listenAddr      = fs.String("listen", "", "bind address for -transport=udp|tcp, e.g. 127.0.0.1:0 — every node binds its own ephemeral port (requires -daemon)")
@@ -79,6 +86,7 @@ func run(args []string) int {
 		fmt.Fprintf(fs.Output(), "usage: rekeysim [flags] <fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14|joincost|ablation|packets|loss|gnp|congestion|all>\n")
 		fmt.Fprintf(fs.Output(), "       rekeysim -soak [-seed N] [-soak-intervals N] [-soak-members N] [-soak-loss P] [-soak-rekey-parallelism N] [-metrics-out FILE] [-trace-out FILE] [-trace-sample K] [-pprof ADDR]\n")
 		fmt.Fprintf(fs.Output(), "       rekeysim -soak -soak-n N [-seed N] [-soak-churn N] [-soak-intervals N] [-soak-rekey-parallelism N]\n")
+		fmt.Fprintf(fs.Output(), "       rekeysim -soak -groups G [-seed N] [-flash-joins N] [-mass-churn N] [-soak-intervals N] [-soak-rekey-parallelism N]\n")
 		fmt.Fprintf(fs.Output(), "       rekeysim -daemon [-transport sim|loopback|udp|tcp] [-listen ADDR] [-seed N] [-daemon-members N] [-daemon-intervals N]\n")
 		fs.PrintDefaults()
 	}
@@ -96,6 +104,9 @@ func run(args []string) int {
 			"soak-rekey-parallelism": true,
 			"soak-n":                 true,
 			"soak-churn":             true,
+			"groups":                 true,
+			"flash-joins":            true,
+			"mass-churn":             true,
 			"metrics-out":            true,
 			"trace-out":              true,
 			"trace-sample":           true,
@@ -169,6 +180,40 @@ func run(args []string) int {
 	}
 	if *soak {
 		if fs.NArg() != 0 {
+			fs.Usage()
+			return 2
+		}
+		if *soakGroups > 0 {
+			if *soakN > 0 {
+				fmt.Fprintln(os.Stderr, "rekeysim: -groups and -soak-n are mutually exclusive (the tenancy soak hosts its own scale groups)")
+				return 2
+			}
+			// The tenancy soak has no fault ladder and no single
+			// network session, so the net-soak instrumentation and the
+			// scale soak's churn knob cannot apply to it.
+			groupsIncompat := map[string]bool{
+				"soak-members": true,
+				"soak-loss":    true,
+				"soak-churn":   true,
+				"metrics-out":  true,
+				"trace-out":    true,
+				"trace-sample": true,
+			}
+			var misused []string
+			fs.Visit(func(f *flag.Flag) {
+				if groupsIncompat[f.Name] {
+					misused = append(misused, "-"+f.Name)
+				}
+			})
+			if len(misused) > 0 {
+				fmt.Fprintf(os.Stderr, "rekeysim: %s do(es) not apply to the tenancy soak (-groups)\n", strings.Join(misused, ", "))
+				fs.Usage()
+				return 2
+			}
+			return runMultiGroupSoak(*seed, *soakGroups, *flashJoins, *massChurn, *soakIntervals, *soakRekeyPar)
+		}
+		if *flashJoins != 0 || *massChurn != 0 {
+			fmt.Fprintln(os.Stderr, "rekeysim: -flash-joins and -mass-churn require -groups (only the tenancy soak runs those workloads)")
 			fs.Usage()
 			return 2
 		}
@@ -314,6 +359,115 @@ func runScaleSoak(seed int64, n, churn, intervals, parallelism int) int {
 		return 1
 	}
 	return 0
+}
+
+// runMultiGroupSoak drives the multi-group tenancy soak
+// (internal/grouphost): G groups — a flash crowd, a mass join+leave,
+// and full-protocol groups over one shared topology — multiplexed on
+// one worker pool under the staggered scheduler, with the five paper
+// auditors running per group at every interval. After the main run the
+// whole host replays at a different pool width and the reports must be
+// byte-identical; any mismatch or audit violation exits non-zero.
+func runMultiGroupSoak(seed int64, groups, flashJoins, massChurn, intervals, parallelism int) int {
+	if flashJoins <= 0 {
+		flashJoins = 100000
+	}
+	if massChurn <= 0 {
+		massChurn = 10000
+	}
+	if intervals <= 0 {
+		intervals = 4
+	}
+	specs := buildTenancy(groups, flashJoins, massChurn, intervals, seed)
+	runAt := func(width int, out *os.File) (*grouphost.Report, int) {
+		pool := work.NewPool(width)
+		defer pool.Close()
+		rep, err := grouphost.Run(grouphost.Config{
+			Groups:  specs,
+			Seed:    seed,
+			Stagger: 7 * time.Second,
+			Pool:    pool,
+			Obs:     obs.New(),
+			Out:     out,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rekeysim:", err)
+			return nil, 2
+		}
+		return rep, 0
+	}
+	rep, code := runAt(parallelism, os.Stderr)
+	if code != 0 {
+		return code
+	}
+	// Replay at a different width: 1 against the parallel run, wide
+	// against an explicitly sequential one.
+	replayWidth := 1
+	if parallelism == 1 {
+		replayWidth = 0
+	}
+	fmt.Fprintf(os.Stderr, "replaying at pool width %d to cross-check determinism\n", replayWidth)
+	replay, code := runAt(replayWidth, nil)
+	if code != 0 {
+		return code
+	}
+	fmt.Print(rep.String())
+	if replay.String() != rep.String() {
+		fmt.Fprintf(os.Stderr, "rekeysim: tenancy replay diverged across pool widths\n--- replay ---\n%s", replay.String())
+		return 1
+	}
+	fmt.Fprintf(os.Stderr, "replay byte-identical across pool widths (%d vs %d workers)\n",
+		rep.PoolWidth, replay.PoolWidth)
+	if rep.Violations() > 0 {
+		return 1
+	}
+	return 0
+}
+
+// buildTenancy lays out the soak's G groups: one flash crowd and one
+// mass join+leave on the key plane, the rest full-protocol groups on
+// the shared topology, every other one running Appendix B cluster
+// rekeying. Workload seeds derive from the base seed and the group
+// index, so each tenant churns independently but reproducibly.
+func buildTenancy(groups, flashJoins, massChurn, intervals int, seed int64) []grouphost.GroupSpec {
+	if groups < 1 {
+		groups = 1
+	}
+	specs := make([]grouphost.GroupSpec, 0, groups)
+	base := flashJoins / 20
+	if base < 16 {
+		base = 16
+	}
+	specs = append(specs, grouphost.GroupSpec{
+		Name:     "flash",
+		Profile:  grouphost.KeyPlane,
+		Workload: workload.FlashCrowd(base, flashJoins, seed+1),
+		Verify:   256,
+	})
+	if groups > 1 {
+		specs = append(specs, grouphost.GroupSpec{
+			Name:     "mass",
+			Profile:  grouphost.KeyPlane,
+			Workload: workload.MassJoinLeave(massChurn*intervals, massChurn, massChurn, intervals, seed+2),
+			Verify:   256,
+		})
+	}
+	for i := len(specs); i < groups; i++ {
+		specs = append(specs, grouphost.GroupSpec{
+			Name:            fmt.Sprintf("net%02d", i),
+			ClusterRekeying: i%2 == 1,
+			Workload: workload.Config{
+				InitialJoins:   4*intervals + 16 + i, // leaves×intervals always fit
+				WarmUp:         400 * time.Second,
+				ChurnJoins:     5,
+				ChurnLeaves:    4,
+				Interval:       time.Duration(90+5*i) * time.Second,
+				ChurnIntervals: intervals,
+				Seed:           seed + int64(10*i),
+			},
+		})
+	}
+	return specs
 }
 
 // runSoak drives one simulator chaos soak session and prints its

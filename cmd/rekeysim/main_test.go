@@ -38,6 +38,21 @@ func TestRunArgHandling(t *testing.T) {
 		{"soak-n with soak-loss", []string{"-soak", "-soak-n", "1000", "-soak-loss", "0.1"}, 2},
 		{"soak-n with trace-out", []string{"-soak", "-soak-n", "1000", "-trace-out", os.DevNull}, 2},
 		{"soak-n with experiment arg", []string{"-soak", "-soak-n", "1000", "fig6"}, 2},
+		// Tenancy-soak hygiene: -groups and its workload knobs are
+		// soak-only, the knobs additionally require -groups, and the
+		// tenancy soak rejects the scale soak and the net-soak
+		// instrumentation.
+		{"groups without soak", []string{"-groups", "4", "fig6"}, 2},
+		{"flash-joins without soak", []string{"-flash-joins", "1000", "fig6"}, 2},
+		{"mass-churn without soak", []string{"-mass-churn", "100", "fig6"}, 2},
+		{"flash-joins without groups", []string{"-soak", "-flash-joins", "1000"}, 2},
+		{"mass-churn without groups", []string{"-soak", "-mass-churn", "100"}, 2},
+		{"groups with soak-n", []string{"-soak", "-groups", "4", "-soak-n", "1000"}, 2},
+		{"groups with soak-members", []string{"-soak", "-groups", "4", "-soak-members", "40"}, 2},
+		{"groups with soak-loss", []string{"-soak", "-groups", "4", "-soak-loss", "0.1"}, 2},
+		{"groups with soak-churn", []string{"-soak", "-groups", "4", "-soak-churn", "10"}, 2},
+		{"groups with trace-out", []string{"-soak", "-groups", "4", "-trace-out", os.DevNull}, 2},
+		{"groups with experiment arg", []string{"-soak", "-groups", "4", "fig6"}, 2},
 		// Soak-only flags at their default values must not trip the
 		// check when absent from the command line.
 		{"experiment without soak flags ok", []string{"fig99"}, 1},
@@ -78,6 +93,20 @@ func TestRunScaleSoakSmoke(t *testing.T) {
 		t.Skip("CLI smoke test")
 	}
 	args := []string{"-soak", "-soak-n", "500", "-soak-churn", "20", "-soak-intervals", "4"}
+	if got := run(args); got != 0 {
+		t.Errorf("run(%v) = %d, want 0", args, got)
+	}
+}
+
+// TestRunMultiGroupSoakSmoke drives a small multi-group tenancy soak
+// end to end through the CLI path; exit 0 means every per-group auditor
+// stayed green and the cross-width replay was byte-identical.
+func TestRunMultiGroupSoakSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI smoke test")
+	}
+	args := []string{"-soak", "-groups", "4", "-flash-joins", "2000", "-mass-churn", "300",
+		"-soak-intervals", "2", "-soak-rekey-parallelism", "4"}
 	if got := run(args); got != 0 {
 		t.Errorf("run(%v) = %d, want 0", args, got)
 	}

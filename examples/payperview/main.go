@@ -1,8 +1,16 @@
-// Payperview: a pay-per-view broadcast with heavy viewer churn,
-// demonstrating the cluster rekeying heuristic of Appendix B. Viewers
-// come and go constantly, but because most of them are non-leaders of
-// their bottom clusters, the key server barely rekeys — compare the same
-// churn against a plain modified key tree.
+// Payperview: a pay-per-view broadcast in two acts.
+//
+// Act 1 — the show, with heavy viewer churn, demonstrating the cluster
+// rekeying heuristic of Appendix B: viewers come and go constantly, but
+// because most of them are non-leaders of their bottom clusters, the
+// key server barely rekeys — compare the same churn against a plain
+// modified key tree.
+//
+// Act 2 — the kickoff, a flash crowd: subscribers trickle in before the
+// broadcast, then the whole crowd joins inside one rekey interval. The
+// multi-group host (internal/grouphost) runs it as a key-plane tenant
+// and the single crowd interval costs roughly one encryption per
+// arrival — the batch absorbs the stampede.
 //
 // Run with:
 //
@@ -17,14 +25,48 @@ import (
 
 	"tmesh/internal/assign"
 	"tmesh/internal/core"
+	"tmesh/internal/grouphost"
 	"tmesh/internal/ident"
 	"tmesh/internal/vnet"
+	"tmesh/internal/work"
+	"tmesh/internal/workload"
 )
 
 func main() {
 	if err := run(); err != nil {
 		log.Fatal(err)
 	}
+	if err := runKickoff(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// runKickoff is act 2: the broadcast starts and crowd viewers all join
+// within one rekey interval, on top of base early subscribers.
+func runKickoff() error {
+	const base, crowd = 500, 20000
+	pool := work.NewPool(0)
+	defer pool.Close()
+	rep, err := grouphost.Run(grouphost.Config{
+		Groups: []grouphost.GroupSpec{{
+			Name:     "kickoff",
+			Profile:  grouphost.KeyPlane,
+			Workload: workload.FlashCrowd(base, crowd, 4711),
+			Verify:   256,
+		}},
+		Seed: 11,
+		Pool: pool,
+	})
+	if err != nil {
+		return err
+	}
+	g := rep.Groups[0]
+	if n := len(g.Violations); n > 0 {
+		return fmt.Errorf("kickoff violated %d invariants: %v", n, g.Violations)
+	}
+	fmt.Printf("flash-crowd kickoff        : %d early + %d at kickoff, crowd interval %d encryptions (%.2f per arrival), all %d keyrings verified\n",
+		base, crowd, g.MaxCost, float64(g.MaxCost)/float64(crowd), g.FinalMembers)
+	return nil
 }
 
 func run() error {

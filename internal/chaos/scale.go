@@ -433,6 +433,15 @@ func (a *scaleApplier) apply(msg *keytree.Message, members []ident.ID) (int64, e
 	return total, firstErr
 }
 
+// VerifyKeyrings spot-checks up to `sample` member keyrings, spread
+// evenly across the group, against the server tree: every path key must
+// match the tree's current key at that level. It returns an empty
+// string when all sampled keyrings agree — the coverage check shared by
+// the scale soak here and the multi-group soak in internal/grouphost.
+func VerifyKeyrings(tree *keytree.Tree, store *memberstate.Store, members []ident.ID, sample int) string {
+	return scaleVerify(tree, store, members, sample)
+}
+
 // scaleVerify spot-checks up to `sample` member keyrings, spread evenly
 // across the group, against the server tree: every path key must match
 // the tree's current key and version at that level. It returns an empty

@@ -30,6 +30,7 @@ import (
 	"tmesh/internal/split"
 	"tmesh/internal/tmesh"
 	"tmesh/internal/vnet"
+	"tmesh/internal/work"
 )
 
 // Config assembles a Group.
@@ -62,6 +63,13 @@ type Config struct {
 	// messages, reports, and resulting member state are byte-identical
 	// at any setting.
 	Parallelism int
+	// Pool, when set, supplies the pipeline's worker goroutines from a
+	// shared work.Pool instead of per-group fan-out — the tenancy mode
+	// a grouphost uses so G groups rekeying over one topology draw on
+	// one set of workers. Parallelism is then superseded by the pool's
+	// width; determinism is unchanged (the pool preserves the same
+	// disjoint-write discipline).
+	Pool *work.Pool
 	// Obs is the optional telemetry registry: per-stage spans
 	// (mark/regen/deliver/apply) and pipeline counters land there. Nil
 	// (the default) disables all instrumentation at no cost. Telemetry
@@ -132,7 +140,7 @@ func NewGroup(cfg Config) (*Group, error) {
 		members:  memberstate.NewStore(),
 	}
 	seed := []byte(fmt.Sprintf("group-seed-%d", cfg.Seed))
-	opts := keytree.Opts{RealCrypto: cfg.RealCrypto, Obs: cfg.Obs}
+	opts := keytree.Opts{RealCrypto: cfg.RealCrypto, Obs: cfg.Obs, Pool: cfg.Pool}
 	if cfg.ClusterRekeying {
 		g.clusters, err = cluster.New(cfg.Assign.Params, seed, opts)
 	} else {
@@ -179,7 +187,10 @@ func (g *Group) Join(host vnet.HostID, at time.Duration) (ident.ID, assign.Stats
 	return id, stats, nil
 }
 
-// Leave removes a user and queues its key-tree departure.
+// Leave removes a user and queues its key-tree departure. A user whose
+// key-tree join is still pending in the current interval (joined and
+// left between two boundaries) cancels out instead: the batch becomes a
+// no-op for it, rather than a leave the tree would reject as unknown.
 func (g *Group) Leave(id ident.ID) error {
 	if err := g.dir.Leave(id); err != nil {
 		return err
@@ -188,13 +199,23 @@ func (g *Group) Leave(id ident.ID) error {
 	if g.clusters != nil {
 		return g.clusters.Leave(id)
 	}
+	for i, j := range g.pendingJoins {
+		if j.Compare(id) == 0 {
+			g.pendingJoins = append(g.pendingJoins[:i], g.pendingJoins[i+1:]...)
+			return nil
+		}
+	}
 	g.pendingLeaves = append(g.pendingLeaves, id)
 	return nil
 }
 
 // Parallelism returns the effective worker bound of the pipeline's
-// crypto stages (always >= 1).
+// crypto stages (always >= 1): the shared pool's width when a pool is
+// injected, the configured Parallelism otherwise.
 func (g *Group) Parallelism() int {
+	if g.cfg.Pool != nil {
+		return g.cfg.Pool.Workers()
+	}
 	if g.cfg.Parallelism > 1 {
 		return g.cfg.Parallelism
 	}
@@ -324,7 +345,7 @@ func (g *Group) DistributeRekey(msg *keytree.Message) (*split.Report, error) {
 		return nil, err
 	}
 	if g.cfg.RealCrypto {
-		applier := &storeApplier{store: g.members, parallelism: g.Parallelism(), obs: g.cfg.Obs}
+		applier := &storeApplier{store: g.members, parallelism: g.Parallelism(), pool: g.cfg.Pool, obs: g.cfg.Obs}
 		applySpan := g.cfg.Obs.StartSpan("core_apply")
 		err := applier.Apply(msg.Interval, rep.Deliveries)
 		applySpan.End()

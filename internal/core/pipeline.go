@@ -28,6 +28,7 @@ import (
 	"tmesh/internal/memberstate"
 	"tmesh/internal/obs"
 	"tmesh/internal/split"
+	"tmesh/internal/work"
 )
 
 // Marker is the structural stage of a rekey interval.
@@ -97,6 +98,10 @@ func (e *ApplyError) Unwrap() error {
 type storeApplier struct {
 	store       *memberstate.Store
 	parallelism int
+	// pool, when set, supplies the fan-out goroutines instead of
+	// per-call spawning (shared-tenancy mode); parallelism is then
+	// superseded by the pool's width.
+	pool *work.Pool
 	// obs, when non-nil, counts applied users and skipped deliveries;
 	// workers update the hoisted counters lock-free.
 	obs *obs.Registry
@@ -156,7 +161,17 @@ func (a *storeApplier) Apply(interval uint64, deliveries []split.Delivery) error
 		}
 	}
 
-	if workers <= 1 {
+	if a.pool != nil {
+		a.pool.Run(len(order), func(_ int, next func() (int, bool)) {
+			for {
+				i, ok := next()
+				if !ok {
+					return
+				}
+				applyUser(i)
+			}
+		})
+	} else if workers <= 1 {
 		for i := range order {
 			applyUser(i)
 		}

@@ -12,6 +12,7 @@ import (
 	"tmesh/internal/memberstate"
 	"tmesh/internal/split"
 	"tmesh/internal/vnet"
+	"tmesh/internal/work"
 )
 
 func newGroupParallel(t *testing.T, hosts, parallelism int, clusterMode bool) *Group {
@@ -277,5 +278,74 @@ func TestApplyErrorAggregation(t *testing.T) {
 	}
 	if agg.Unwrap() == nil {
 		t.Fatal("ApplyError must unwrap to its first failure")
+	}
+}
+
+// TestSharedPoolEquivalence is the tenancy variant of the determinism
+// contract: a group drawing its regen/apply workers from an injected
+// shared work.Pool must produce byte-identical rekey messages and
+// identical final member state to a sequential group — and the pool
+// must survive being shared by several groups in turn.
+func TestSharedPoolEquivalence(t *testing.T) {
+	pool := work.NewPool(8)
+	defer pool.Close()
+
+	newPooled := func(clusterMode bool) *Group {
+		g, err := NewGroup(Config{
+			Net:             testNet(t, 40),
+			ServerHost:      0,
+			Assign:          smallAssign(),
+			K:               2,
+			Seed:            5,
+			RealCrypto:      true,
+			ClusterRekeying: clusterMode,
+			Pool:            pool,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g
+	}
+
+	for _, clusterMode := range []bool{false, true} {
+		name := "tree"
+		if clusterMode {
+			name = "cluster"
+		}
+		t.Run(name, func(t *testing.T) {
+			seqG := newGroupParallel(t, 40, 1, clusterMode)
+			poolG := newPooled(clusterMode)
+			if got := poolG.Parallelism(); got != pool.Workers() {
+				t.Fatalf("pooled group parallelism = %d, want pool width %d", got, pool.Workers())
+			}
+			seqMembers, seqMsgs, _ := driveWorkload(t, seqG)
+			poolMembers, poolMsgs, _ := driveWorkload(t, poolG)
+
+			if !reflect.DeepEqual(seqMembers, poolMembers) {
+				t.Fatal("membership diverged between sequential and pooled runs")
+			}
+			if len(seqMsgs) != len(poolMsgs) {
+				t.Fatalf("interval counts differ: %d vs %d", len(seqMsgs), len(poolMsgs))
+			}
+			for i := range seqMsgs {
+				a, b := seqMsgs[i], poolMsgs[i]
+				if a.Interval != b.Interval || len(a.Encryptions) != len(b.Encryptions) {
+					t.Fatalf("interval %d: message shape differs", i)
+				}
+				for j := range a.Encryptions {
+					ea, eb := a.Encryptions[j], b.Encryptions[j]
+					if ea.ID != eb.ID || ea.KeyID != eb.KeyID || ea.KeyVersion != eb.KeyVersion ||
+						!bytes.Equal(ea.Ciphertext, eb.Ciphertext) {
+						t.Fatalf("interval %d encryption %d: not byte-identical", i, j)
+					}
+				}
+			}
+			checkConverged(t, poolG, poolMembers)
+			wantGK, _ := seqG.ServerGroupKey()
+			gotGK, _ := poolG.ServerGroupKey()
+			if !wantGK.Equal(gotGK) {
+				t.Fatal("server group keys differ between sequential and pooled runs")
+			}
+		})
 	}
 }

@@ -1,0 +1,316 @@
+// Package grouphost multiplexes many secure groups on one host — the
+// production shape of the paper's key server (ROADMAP item 4): a
+// single shared topology, a single shared regen/apply worker pool
+// (internal/work) injected into every group, a single obs registry
+// with per-group namespaces, and a global rekey scheduler that
+// staggers the groups' interval boundaries so their crypto bursts do
+// not land on the same instant.
+//
+// Groups come in two profiles:
+//
+//   - NetPlane — a full core.Group over the shared vnet topology:
+//     distributed ID assignment, neighbor tables, T-mesh multicast
+//     delivery of the split rekey message. The real protocol, bounded
+//     to memberships the O(N) overlay join can sustain.
+//   - KeyPlane — key tree + member keyrings only, the flat layout the
+//     scale soak uses, for the workloads the overlay cannot reach:
+//     a ≥100k flash-crowd interval or a CKCS-style mass join+leave.
+//
+// Determinism contract: every group's schedule, rekey messages, and
+// final keyrings are a pure function of (its spec, its seed). The
+// shared pool preserves the repo's disjoint-write discipline and the
+// scheduler processes boundaries one at a time, so the per-group
+// reports are byte-identical at any pool width and any boundary
+// interleaving (OrderSeed) — the multi-group determinism tests pin
+// both.
+package grouphost
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"time"
+
+	"tmesh/internal/ident"
+	"tmesh/internal/obs"
+	"tmesh/internal/vnet"
+	"tmesh/internal/work"
+	"tmesh/internal/workload"
+)
+
+// Profile selects how a group is materialised.
+type Profile int
+
+const (
+	// NetPlane runs a full core.Group over the shared topology.
+	NetPlane Profile = iota + 1
+	// KeyPlane runs the key-management core only (tree + keyrings),
+	// sized for flash-crowd memberships.
+	KeyPlane
+)
+
+func (p Profile) String() string {
+	switch p {
+	case NetPlane:
+		return "net"
+	case KeyPlane:
+		return "key"
+	default:
+		return fmt.Sprintf("profile(%d)", int(p))
+	}
+}
+
+// GroupSpec describes one tenant group.
+type GroupSpec struct {
+	// Name labels the group in the report and its obs namespace;
+	// empty defaults to "g<index>".
+	Name string
+	// Profile selects the materialisation; zero means NetPlane.
+	Profile Profile
+	// Workload drives the group's membership schedule (its Seed and
+	// Interval included); the group's rekey boundaries land every
+	// Workload.Interval on its own staggered timeline.
+	Workload workload.Config
+	// ClusterRekeying enables the Appendix B heuristic (NetPlane only).
+	ClusterRekeying bool
+	// Verify spot-checks this many member keyrings against the
+	// server tree at each audit (KeyPlane; 0 defaults to 64).
+	Verify int
+}
+
+// Config assembles a Host.
+type Config struct {
+	// Groups are the tenant groups; at least one.
+	Groups []GroupSpec
+	// Seed drives host-level randomness (topology, per-group crypto
+	// seeds); each group's schedule comes from its own Workload.Seed.
+	Seed int64
+	// Stagger offsets consecutive groups' interval grids: group i's
+	// boundaries land at i*Stagger + k*Interval. It shifts only the
+	// global processing order, never a group's own timeline, so
+	// per-group output is independent of the stagger.
+	Stagger time.Duration
+	// Pool is the shared regen/apply worker pool injected into every
+	// group. Nil runs a private sequential pool.
+	Pool *work.Pool
+	// OrderSeed deterministically shuffles the processing order of
+	// boundaries that land on the same instant. Per-group reports are
+	// invariant under it (the interleaving determinism test pins this).
+	OrderSeed int64
+	// Obs is the optional shared telemetry registry; each group
+	// reports under its own "<name>_" namespace.
+	Obs *obs.Registry
+	// Topology is the shared GT-ITM topology all NetPlane groups'
+	// hosts attach to; zero value selects a default sized like the
+	// chaos soak's.
+	Topology vnet.GTITMConfig
+	// Out, when non-nil, receives one progress line per processed
+	// boundary (never part of the deterministic report).
+	Out io.Writer
+}
+
+// DefaultTopology is the shared-topology default: the chaos soak's
+// 2x2x2 GT-ITM with 120 routers.
+func DefaultTopology() vnet.GTITMConfig {
+	return vnet.GTITMConfig{
+		TransitDomains:   2,
+		TransitPerDomain: 2,
+		StubsPerTransit:  2,
+		TotalRouters:     120,
+		TotalLinks:       300,
+		AccessDelayMin:   time.Millisecond,
+		AccessDelayMax:   3 * time.Millisecond,
+	}
+}
+
+// tenant is the scheduler's view of one group: either plane behind the
+// same stepping interface.
+type tenant interface {
+	// name returns the group's report label.
+	name() string
+	// pump applies schedule events with At strictly before the local
+	// cutoff.
+	pump(until time.Duration) error
+	// flush ends the group's current rekey interval and returns its
+	// cost.
+	flush() (cost int, err error)
+	// audit runs the five invariant checks after a flush; violations
+	// are returned as "auditor: detail" strings.
+	audit() []string
+	// finish closes out the group and fills its report entry.
+	finish(gr *GroupReport) error
+}
+
+// boundary is one scheduled rekey boundary of one group.
+type boundary struct {
+	at    time.Duration // global virtual time
+	local time.Duration // group-local cutoff (k*Interval)
+	g     int
+	prio  int // OrderSeed tie-break among equal instants
+}
+
+// Run builds the host and drives every group through its schedule.
+func Run(cfg Config) (*Report, error) {
+	if len(cfg.Groups) == 0 {
+		return nil, fmt.Errorf("grouphost: no groups configured")
+	}
+	if cfg.Stagger < 0 {
+		return nil, fmt.Errorf("grouphost: negative stagger %v", cfg.Stagger)
+	}
+	if cfg.Topology == (vnet.GTITMConfig{}) {
+		cfg.Topology = DefaultTopology()
+	}
+
+	// Generate every schedule first: host counts size the shared
+	// topology, and a spec error should surface before any crypto runs.
+	schedules := make([]*workload.Schedule, len(cfg.Groups))
+	netHosts := 0
+	for i, spec := range cfg.Groups {
+		if spec.Workload.Interval <= 0 {
+			return nil, fmt.Errorf("grouphost: group %d: workload interval must be positive", i)
+		}
+		s, err := workload.Generate(spec.Workload)
+		if err != nil {
+			return nil, fmt.Errorf("grouphost: group %d: %w", i, err)
+		}
+		if len(s.Events) == 0 {
+			return nil, fmt.Errorf("grouphost: group %d: empty schedule", i)
+		}
+		schedules[i] = s
+		if profileOf(spec) == NetPlane {
+			netHosts += 1 + s.Hosts // per-group key server + members
+		}
+	}
+
+	// One shared topology for every NetPlane group; KeyPlane groups
+	// are key-state only and attach nowhere.
+	var net vnet.Network
+	if netHosts > 0 {
+		top, err := vnet.NewGTITM(cfg.Topology, netHosts, cfg.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("grouphost: shared topology: %w", err)
+		}
+		net = top
+	}
+
+	rep := &Report{Seed: cfg.Seed, StaggerNS: int64(cfg.Stagger), PoolWidth: cfg.Pool.Workers()}
+	tenants := make([]tenant, len(cfg.Groups))
+	var agenda []boundary
+	hostBase := 0
+	for i, spec := range cfg.Groups {
+		label := spec.Name
+		if label == "" {
+			label = fmt.Sprintf("g%d", i)
+		}
+		groupObs := cfg.Obs.Namespace(label + "_")
+		var t tenant
+		var err error
+		switch profileOf(spec) {
+		case NetPlane:
+			t, err = newNetTenant(label, spec, schedules[i], net, vnet.HostID(hostBase), cfg.Seed, cfg.Pool, groupObs)
+			hostBase += 1 + schedules[i].Hosts
+		case KeyPlane:
+			t, err = newKeyTenant(label, spec, schedules[i], cfg.Seed, cfg.Pool, groupObs)
+		default:
+			err = fmt.Errorf("unknown profile %d", spec.Profile)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("grouphost: group %s: %w", label, err)
+		}
+		tenants[i] = t
+
+		// The group's boundaries: enough to cover the schedule tail
+		// (events land strictly before their boundary, as in
+		// core.RunSession).
+		last := schedules[i].Events[len(schedules[i].Events)-1].At
+		n := int(last/spec.Workload.Interval) + 1
+		offset := time.Duration(i) * cfg.Stagger
+		for k := 1; k <= n; k++ {
+			local := time.Duration(k) * spec.Workload.Interval
+			agenda = append(agenda, boundary{at: offset + local, local: local, g: i})
+		}
+		rep.Groups = append(rep.Groups, GroupReport{
+			Name:    label,
+			Profile: profileOf(spec).String(),
+		})
+	}
+
+	// Equal-instant boundaries process in OrderSeed order; everything
+	// else strictly by time. Per-group state never crosses tenants, so
+	// this order must not leak into any group's report — the
+	// interleaving test runs several OrderSeeds and byte-compares.
+	prio := rand.New(rand.NewSource(cfg.OrderSeed)).Perm(len(agenda))
+	for i := range agenda {
+		agenda[i].prio = prio[i]
+	}
+	sort.Slice(agenda, func(i, j int) bool {
+		if agenda[i].at != agenda[j].at {
+			return agenda[i].at < agenda[j].at
+		}
+		return agenda[i].prio < agenda[j].prio
+	})
+
+	for _, b := range agenda {
+		t := tenants[b.g]
+		gr := &rep.Groups[b.g]
+		if err := t.pump(b.local); err != nil {
+			return nil, fmt.Errorf("grouphost: group %s: %w", t.name(), err)
+		}
+		cost, err := t.flush()
+		if err != nil {
+			return nil, fmt.Errorf("grouphost: group %s interval %d: %w", t.name(), gr.Intervals+1, err)
+		}
+		gr.Intervals++
+		gr.TotalCost += int64(cost)
+		if cost > gr.MaxCost {
+			gr.MaxCost = cost
+		}
+		for _, v := range t.audit() {
+			gr.Violations = append(gr.Violations, fmt.Sprintf("interval %d: %s", gr.Intervals, v))
+		}
+		gr.Audits += len(auditorNames)
+		if cfg.Out != nil {
+			fmt.Fprintf(cfg.Out, "t=%v %s interval %d: cost=%d violations=%d\n",
+				b.at, t.name(), gr.Intervals, cost, len(gr.Violations))
+		}
+	}
+
+	for i, t := range tenants {
+		if err := t.finish(&rep.Groups[i]); err != nil {
+			return nil, fmt.Errorf("grouphost: group %s: %w", t.name(), err)
+		}
+	}
+	return rep, nil
+}
+
+func profileOf(spec GroupSpec) Profile {
+	if spec.Profile == 0 {
+		return NetPlane
+	}
+	return spec.Profile
+}
+
+// auditorNames is the canonical per-group auditor registry — the five
+// paper invariants the chaos soak checks, applied per tenant. A check
+// whose precondition is absent in a profile (no overlay on the key
+// plane, no recovery ladder on the fault-free simulator transport)
+// passes vacuously, mirroring the chaos cluster auditor over zero
+// clusters.
+var auditorNames = []string{"k-consistency", "delivery", "coverage", "cluster", "ladder"}
+
+// groupSeed derives a per-group crypto seed from the host seed and the
+// group label, so tenants never share key material.
+func groupSeed(hostSeed int64, label string) int64 {
+	h := int64(1469598103934665603) // FNV-1a offset basis
+	for _, c := range label {
+		h ^= int64(c)
+		h *= 1099511628211
+	}
+	return hostSeed ^ h
+}
+
+// idFromIndex maps a workload host index into the key-plane ID space.
+func idFromIndex(params ident.Params, idx int) (ident.ID, error) {
+	return ident.FromInt(params, idx)
+}

@@ -1,0 +1,223 @@
+package grouphost
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"tmesh/internal/obs"
+	"tmesh/internal/work"
+	"tmesh/internal/workload"
+)
+
+// testGroups is a mixed tenancy: two NetPlane groups (one with cluster
+// rekeying) exercising the full protocol on the shared topology, and
+// two KeyPlane groups (one a flash crowd, one a mass join+leave)
+// exercising the shared pool at scale.
+func testGroups(short bool) []GroupSpec {
+	crowd, mass := 3000, 1500
+	if short {
+		crowd, mass = 400, 200
+	}
+	return []GroupSpec{
+		{
+			// WarmUp deliberately misaligned with Interval so a victim
+			// can join and leave between the same two boundaries — the
+			// pair must cancel out of the batch, not abort the soak.
+			Name: "tree",
+			Workload: workload.Config{
+				InitialJoins: 20, WarmUp: 450 * time.Second,
+				ChurnJoins: 6, ChurnLeaves: 6, Interval: 100 * time.Second,
+				Seed: 7,
+			},
+		},
+		{
+			Name:            "clus",
+			ClusterRekeying: true,
+			Workload: workload.Config{
+				InitialJoins: 24, WarmUp: 400 * time.Second,
+				ChurnJoins: 5, ChurnLeaves: 8, Interval: 150 * time.Second,
+				ChurnIntervals: 2, Seed: 11,
+			},
+		},
+		{
+			Name:     "flash",
+			Profile:  KeyPlane,
+			Workload: workload.FlashCrowd(100, crowd, 13),
+			Verify:   32,
+		},
+		{
+			Name:     "mass",
+			Profile:  KeyPlane,
+			Workload: workload.MassJoinLeave(mass, mass/3, mass/3, 2, 17),
+			Verify:   32,
+		},
+	}
+}
+
+func runHost(t *testing.T, width int, orderSeed int64, stagger time.Duration) *Report {
+	t.Helper()
+	pool := work.NewPool(width)
+	defer pool.Close()
+	rep, err := Run(Config{
+		Groups:    testGroups(testing.Short()),
+		Seed:      42,
+		Stagger:   stagger,
+		Pool:      pool,
+		OrderSeed: orderSeed,
+		Obs:       obs.New(),
+	})
+	if err != nil {
+		t.Fatalf("Run(width=%d order=%d stagger=%v): %v", width, orderSeed, stagger, err)
+	}
+	return rep
+}
+
+// TestMultiGroupDeterminism is the tenancy determinism contract: G
+// groups sharing one worker pool produce byte-identical reports (per-
+// group intervals, costs, and final-keyring digests included) at every
+// pool width, under every equal-instant processing order, and at every
+// stagger. Run under -race this also proves the shared pool keeps the
+// disjoint-write discipline across tenants.
+func TestMultiGroupDeterminism(t *testing.T) {
+	base := runHost(t, 1, 0, 0)
+	want := base.String()
+	if base.Violations() != 0 {
+		t.Fatalf("baseline run has violations:\n%s", want)
+	}
+
+	for _, width := range []int{2, 4, 8} {
+		if got := runHost(t, width, 0, 0).String(); got != want {
+			t.Errorf("pool width %d changed the report\nwant:\n%s\ngot:\n%s", width, want, got)
+		}
+	}
+	for _, order := range []int64{1, 99} {
+		if got := runHost(t, 4, order, 0).String(); got != want {
+			t.Errorf("order seed %d changed the report\nwant:\n%s\ngot:\n%s", order, want, got)
+		}
+	}
+	for _, stagger := range []time.Duration{time.Second, 37 * time.Second} {
+		if got := runHost(t, 4, 0, stagger).String(); got != want {
+			t.Errorf("stagger %v changed the report\nwant:\n%s\ngot:\n%s", stagger, want, got)
+		}
+	}
+}
+
+// TestAuditorsRunPerGroup checks the audit bookkeeping: five checks per
+// interval per group, zero violations on a healthy run, and the report
+// carrying every group's profile and churn totals.
+func TestAuditorsRunPerGroup(t *testing.T) {
+	rep := runHost(t, 4, 0, 10*time.Second)
+	if len(rep.Groups) != 4 {
+		t.Fatalf("got %d group reports, want 4", len(rep.Groups))
+	}
+	for _, g := range rep.Groups {
+		if g.Intervals == 0 {
+			t.Errorf("group %s processed no intervals", g.Name)
+		}
+		if g.Audits != g.Intervals*len(auditorNames) {
+			t.Errorf("group %s: %d audits over %d intervals, want %d",
+				g.Name, g.Audits, g.Intervals, g.Intervals*len(auditorNames))
+		}
+		if len(g.Violations) != 0 {
+			t.Errorf("group %s violations: %v", g.Name, g.Violations)
+		}
+		if g.Joins == 0 || g.KeyringDigest == 0 {
+			t.Errorf("group %s report looks empty: %+v", g.Name, g)
+		}
+	}
+	if got := rep.Groups[1].Profile; got != "net" {
+		t.Errorf("clus profile = %q, want net", got)
+	}
+	if got := rep.Groups[2].Profile; got != "key" {
+		t.Errorf("flash profile = %q, want key", got)
+	}
+	if !strings.Contains(rep.String(), "flash[key]") {
+		t.Errorf("report missing flash group line:\n%s", rep.String())
+	}
+}
+
+// TestFlashCrowdInterval drives the ISSUE's flash-crowd acceptance
+// shape at test scale: all crowd joins land inside one rekey interval,
+// the interval completes, every keyring spot-checks clean, and the
+// final membership is base+crowd.
+func TestFlashCrowdInterval(t *testing.T) {
+	base, crowd := 200, 20000
+	if testing.Short() {
+		crowd = 2000
+	}
+	pool := work.NewPool(0)
+	defer pool.Close()
+	rep, err := Run(Config{
+		Groups: []GroupSpec{{
+			Name:     "ppv",
+			Profile:  KeyPlane,
+			Workload: workload.FlashCrowd(base, crowd, 23),
+			Verify:   128,
+		}},
+		Seed: 5,
+		Pool: pool,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := rep.Groups[0]
+	if g.Joins != base+crowd {
+		t.Errorf("joins = %d, want %d", g.Joins, base+crowd)
+	}
+	if g.FinalMembers != base+crowd {
+		t.Errorf("final members = %d, want %d", g.FinalMembers, base+crowd)
+	}
+	if len(g.Violations) != 0 {
+		t.Errorf("violations: %v", g.Violations)
+	}
+	// The crowd lands in the post-warm-up interval: its rekey must
+	// dominate the total cost.
+	if g.MaxCost == 0 || int64(g.MaxCost) < g.TotalCost/2 {
+		t.Errorf("flash interval cost %d does not dominate total %d", g.MaxCost, g.TotalCost)
+	}
+}
+
+// TestNilPoolRunsSequential: a host without a shared pool degrades to
+// sequential crypto but produces the same report.
+func TestNilPoolRunsSequential(t *testing.T) {
+	groups := []GroupSpec{{
+		Name:     "solo",
+		Profile:  KeyPlane,
+		Workload: workload.MassJoinLeave(300, 60, 60, 1, 3),
+	}}
+	with := func(pool *work.Pool) string {
+		rep, err := Run(Config{Groups: groups, Seed: 9, Pool: pool})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.String()
+	}
+	pool := work.NewPool(6)
+	defer pool.Close()
+	if seq, par := with(nil), with(pool); seq != par {
+		t.Errorf("nil-pool report differs:\n%s\nvs\n%s", seq, par)
+	}
+}
+
+// TestConfigValidation covers the fail-fast paths.
+func TestConfigValidation(t *testing.T) {
+	if _, err := Run(Config{}); err == nil {
+		t.Error("empty config did not fail")
+	}
+	if _, err := Run(Config{Groups: []GroupSpec{{}}}); err == nil {
+		t.Error("zero workload interval did not fail")
+	}
+	if _, err := Run(Config{
+		Groups:  []GroupSpec{{Workload: workload.Paper13(1)}},
+		Stagger: -time.Second,
+	}); err == nil {
+		t.Error("negative stagger did not fail")
+	}
+	if _, err := Run(Config{Groups: []GroupSpec{{
+		Profile:  KeyPlane,
+		Workload: workload.Config{InitialJoins: 10, WarmUp: time.Second, ChurnLeaves: 20, Interval: time.Second},
+	}}}); err == nil {
+		t.Error("over-subscribed leaves did not fail")
+	}
+}

@@ -42,6 +42,7 @@ import (
 	"tmesh/internal/ident"
 	"tmesh/internal/keycrypt"
 	"tmesh/internal/obs"
+	"tmesh/internal/work"
 )
 
 // Opts configures a Tree.
@@ -60,6 +61,12 @@ type Opts struct {
 	// expected member count, so large soaks pay for growth once instead
 	// of through repeated reallocation. Zero is fine for small trees.
 	CapacityHint int
+	// Pool, when set, supplies the worker goroutines for Regenerate's
+	// subtree fan-out instead of per-call goroutines — the sharing mode
+	// a grouphost uses so many trees draw on one set of workers. The
+	// parallelism argument to Regenerate is then superseded by the
+	// pool's width. The message stays byte-identical either way.
+	Pool *work.Pool
 }
 
 type node struct {
@@ -474,6 +481,25 @@ func (t *Tree) Regenerate(plan *BatchPlan, parallelism int) (*Message, error) {
 	// output is byte-identical to the one-shot WrapSeeded, keeping the
 	// message independent of the fan-out.
 	runGroups := func(fn func(indices []int, wr *keycrypt.Wrapper) error) error {
+		if pool := t.opts.Pool; pool != nil {
+			errs := make([]error, len(groupOrder))
+			pool.Run(len(groupOrder), func(_ int, next func() (int, bool)) {
+				wr := keycrypt.NewWrapper(t.nonceSeed)
+				for {
+					i, ok := next()
+					if !ok {
+						return
+					}
+					errs[i] = runUnit(fn, t.groupIdx[groupOrder[i]], wr)
+				}
+			})
+			for _, err := range errs {
+				if err != nil {
+					return err
+				}
+			}
+			return nil
+		}
 		workers := parallelism
 		if workers > len(groupOrder) {
 			workers = len(groupOrder)

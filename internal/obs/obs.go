@@ -166,7 +166,20 @@ func (s Span) End() {
 // The zero value is NOT usable — construct with New. A nil *Registry is
 // the documented off-switch: every lookup returns a nil instrument and
 // every nil instrument is a no-op.
+//
+// A Registry is a view onto a shared instrument space: Namespace
+// returns a derived view that prepends a prefix to every instrument
+// name, so several tenants (e.g. the groups of a grouphost soak) can
+// report into one space without colliding on names. All views share one
+// lock and one Snapshot.
 type Registry struct {
+	prefix string
+	st     *registryState
+}
+
+// registryState is the instrument space shared by a registry and every
+// namespaced view derived from it.
+type registryState struct {
 	mu       sync.Mutex
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
@@ -175,11 +188,25 @@ type Registry struct {
 
 // New creates an empty registry.
 func New() *Registry {
-	return &Registry{
+	return &Registry{st: &registryState{
 		counters: make(map[string]*Counter),
 		gauges:   make(map[string]*Gauge),
 		hists:    make(map[string]*Histogram),
+	}}
+}
+
+// Namespace returns a view of the registry that prepends prefix to
+// every instrument name it creates or looks up. The view shares the
+// parent's instrument space: Snapshot on any view exports every
+// namespace, and two views with the same accumulated prefix address the
+// same instruments. Namespacing composes — r.Namespace("a_").
+// Namespace("b_") addresses "a_b_<name>". Nil-safe: a nil registry
+// namespaces to nil, preserving the off-switch.
+func (r *Registry) Namespace(prefix string) *Registry {
+	if r == nil {
+		return nil
 	}
+	return &Registry{prefix: r.prefix + prefix, st: r.st}
 }
 
 // Counter returns the named counter, creating it on first use. Returns
@@ -189,12 +216,13 @@ func (r *Registry) Counter(name string) *Counter {
 	if r == nil {
 		return nil
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	c, ok := r.counters[name]
+	name = r.prefix + name
+	r.st.mu.Lock()
+	defer r.st.mu.Unlock()
+	c, ok := r.st.counters[name]
 	if !ok {
 		c = &Counter{}
-		r.counters[name] = c
+		r.st.counters[name] = c
 	}
 	return c
 }
@@ -205,12 +233,13 @@ func (r *Registry) Gauge(name string) *Gauge {
 	if r == nil {
 		return nil
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	g, ok := r.gauges[name]
+	name = r.prefix + name
+	r.st.mu.Lock()
+	defer r.st.mu.Unlock()
+	g, ok := r.st.gauges[name]
 	if !ok {
 		g = &Gauge{}
-		r.gauges[name] = g
+		r.st.gauges[name] = g
 	}
 	return g
 }
@@ -222,12 +251,13 @@ func (r *Registry) Histogram(name string, bounds []int64) *Histogram {
 	if r == nil {
 		return nil
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	h, ok := r.hists[name]
+	name = r.prefix + name
+	r.st.mu.Lock()
+	defer r.st.mu.Unlock()
+	h, ok := r.st.hists[name]
 	if !ok {
 		h = newHistogram(bounds)
-		r.hists[name] = h
+		r.st.hists[name] = h
 	}
 	return h
 }
@@ -273,22 +303,23 @@ type Snapshot struct {
 	Histograms []HistogramSnapshot `json:"histograms,omitempty"`
 }
 
-// Snapshot exports the registry's current state. Safe on a nil registry
-// (returns the zero Snapshot).
+// Snapshot exports the registry's current state — the full shared
+// instrument space, regardless of which namespaced view it is called
+// on. Safe on a nil registry (returns the zero Snapshot).
 func (r *Registry) Snapshot() Snapshot {
 	if r == nil {
 		return Snapshot{}
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	r.st.mu.Lock()
+	defer r.st.mu.Unlock()
 	var s Snapshot
-	for name, c := range r.counters {
+	for name, c := range r.st.counters {
 		s.Counters = append(s.Counters, ValueSnapshot{Name: name, Value: c.Value()})
 	}
-	for name, g := range r.gauges {
+	for name, g := range r.st.gauges {
 		s.Gauges = append(s.Gauges, ValueSnapshot{Name: name, Value: g.Value()})
 	}
-	for name, h := range r.hists {
+	for name, h := range r.st.hists {
 		hs := HistogramSnapshot{Name: name, Count: h.Count(), Sum: h.Sum()}
 		for i := range h.counts {
 			n := h.counts[i].Load()

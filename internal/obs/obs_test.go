@@ -128,6 +128,77 @@ func TestConcurrentUpdates(t *testing.T) {
 	}
 }
 
+// TestNamespaceKeepsTenantsDistinct is the multi-group regression: two
+// groups reporting through namespaced views of one registry must land
+// on distinct, correctly-summed instruments, while two views with the
+// same prefix share them.
+func TestNamespaceKeepsTenantsDistinct(t *testing.T) {
+	root := New()
+	g0 := root.Namespace("g000_")
+	g1 := root.Namespace("g001_")
+
+	g0.Counter("core_mark").Add(3)
+	g1.Counter("core_mark").Add(5)
+	g0.Counter("core_mark").Inc() // second lookup, same instrument
+
+	if got := g0.Counter("core_mark").Value(); got != 4 {
+		t.Errorf("g0 counter = %d, want 4", got)
+	}
+	if got := g1.Counter("core_mark").Value(); got != 5 {
+		t.Errorf("g1 counter = %d, want 5", got)
+	}
+
+	g0.Histogram("apply", []int64{10}).Observe(1)
+	g1.Histogram("apply", []int64{10}).Observe(1)
+	g1.Histogram("apply", []int64{10}).Observe(1)
+
+	snap := root.Snapshot()
+	counters := make(map[string]int64)
+	for _, c := range snap.Counters {
+		counters[c.Name] = c.Value
+	}
+	if counters["g000_core_mark"] != 4 || counters["g001_core_mark"] != 5 {
+		t.Errorf("snapshot counters = %v, want g000_core_mark=4 g001_core_mark=5", counters)
+	}
+	if _, collided := counters["core_mark"]; collided {
+		t.Error("unprefixed name leaked into the shared space")
+	}
+	hists := make(map[string]int64)
+	for _, h := range snap.Histograms {
+		hists[h.Name] = h.Count
+	}
+	if hists["g000_apply"] != 1 || hists["g001_apply"] != 2 {
+		t.Errorf("snapshot histograms = %v, want g000_apply=1 g001_apply=2", hists)
+	}
+
+	// Snapshot is the same full space from any view.
+	if viewSnap := g1.Snapshot(); len(viewSnap.Counters) != len(snap.Counters) {
+		t.Errorf("view snapshot has %d counters, root has %d", len(viewSnap.Counters), len(snap.Counters))
+	}
+
+	// Namespacing composes and preserves the nil off-switch.
+	root.Namespace("a_").Namespace("b_").Counter("x").Inc()
+	if root.Counter("a_b_x").Value() != 1 {
+		t.Error("composed namespace did not address a_b_x")
+	}
+	var nilReg *Registry
+	if nilReg.Namespace("g_") != nil {
+		t.Error("nil registry namespaced to a non-nil view")
+	}
+	nilReg.Namespace("g_").Counter("c").Inc() // must not panic
+}
+
+// TestNamespaceSpans pins span naming under a namespace: the histogram
+// lands at <prefix><name>_ns.
+func TestNamespaceSpans(t *testing.T) {
+	root := New()
+	sp := root.Namespace("g7_").StartSpan("rekey")
+	sp.End()
+	if got := root.Histogram("g7_rekey_ns", LatencyBuckets).Count(); got != 1 {
+		t.Fatalf("namespaced span recorded %d samples at g7_rekey_ns, want 1", got)
+	}
+}
+
 func TestSinkEmitsJSONLines(t *testing.T) {
 	var buf bytes.Buffer
 	s := NewSink(&buf)

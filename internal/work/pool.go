@@ -1,0 +1,150 @@
+// Package work provides the shared deterministic worker pool that a
+// grouphost injects into every core.Group it multiplexes, so G groups
+// rekeying over one topology share one set of regen/apply workers
+// instead of spawning G×Parallelism goroutines.
+//
+// The pool preserves the repo's determinism contract: callers hand Run
+// a unit count and a worker body that claims unit indices from an
+// atomic cursor and writes only to disjoint, index-addressed slots.
+// Which goroutine executes which unit varies run to run; the units
+// executed and the slots written do not, so same-seed runs stay
+// byte-identical at any pool size — exactly the discipline the
+// keytree regen and store-apply stages already follow.
+//
+// Deadlock freedom: workers are persistent goroutines enlisted with a
+// non-blocking send, and the calling goroutine always participates in
+// its own Run. If every worker is busy (including the nested case of a
+// Run issued from inside a worker body), the call simply degrades to
+// inline execution — it never waits on pool capacity.
+package work
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Pool is a fixed-size set of persistent worker goroutines shared by
+// any number of concurrent Run calls. A nil *Pool is valid and runs
+// everything inline (Workers() == 1), mirroring the nil-off-switch
+// convention of internal/obs.
+type Pool struct {
+	workers int
+	jobs    chan func()
+	done    chan struct{}
+	closed  atomic.Bool
+	wg      sync.WaitGroup
+}
+
+// NewPool creates a pool with the given worker width. workers <= 0
+// selects GOMAXPROCS. Width 1 means "no extra goroutines": Run
+// executes inline on the caller.
+func NewPool(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	p := &Pool{workers: workers, done: make(chan struct{})}
+	if workers > 1 {
+		// workers-1 helper goroutines: the caller of Run is always
+		// the last worker, so width W needs only W-1 helpers.
+		p.jobs = make(chan func())
+		p.wg.Add(workers - 1)
+		for i := 0; i < workers-1; i++ {
+			go func() {
+				defer p.wg.Done()
+				for {
+					select {
+					case job := <-p.jobs:
+						job()
+					case <-p.done:
+						return
+					}
+				}
+			}()
+		}
+	}
+	return p
+}
+
+// Workers returns the pool width: the maximum number of goroutines
+// (helpers plus the caller) one Run call can occupy. 1 on a nil pool.
+func (p *Pool) Workers() int {
+	if p == nil {
+		return 1
+	}
+	return p.workers
+}
+
+// Close stops the helper goroutines and waits for them to exit. Run
+// calls issued after Close execute inline. Close is idempotent.
+func (p *Pool) Close() {
+	if p == nil || p.workers <= 1 {
+		return
+	}
+	if p.closed.CompareAndSwap(false, true) {
+		close(p.done)
+	}
+	p.wg.Wait()
+}
+
+// Run executes units work items. worker(slot, next) is invoked on up
+// to Workers() goroutines; each invocation must loop on next(), which
+// hands out unit indices [0, units) exactly once across all
+// invocations, and return when next reports done. slot is a dense
+// per-invocation index in [0, Workers()) for per-worker scratch.
+//
+// The caller always participates, and helpers are enlisted with a
+// non-blocking send, so Run never waits on pool capacity: with all
+// helpers busy — including a nested Run from inside a worker body —
+// it degrades to inline execution on the caller alone.
+func (p *Pool) Run(units int, worker func(slot int, next func() (int, bool))) {
+	if units <= 0 {
+		return
+	}
+	width := p.Workers()
+	if width > units {
+		width = units
+	}
+	if p == nil || width <= 1 || p.closed.Load() {
+		runInline(units, worker)
+		return
+	}
+
+	var cursor atomic.Int64
+	next := func() (int, bool) {
+		i := cursor.Add(1) - 1
+		return int(i), i < int64(units)
+	}
+
+	var wg sync.WaitGroup
+	slot := 1 // slot 0 is the caller's
+	for ; slot < width; slot++ {
+		s := slot
+		wg.Add(1)
+		job := func() {
+			defer wg.Done()
+			worker(s, next)
+		}
+		enlisted := false
+		select {
+		case p.jobs <- job:
+			enlisted = true
+		default:
+		}
+		if !enlisted {
+			wg.Done()
+			break
+		}
+	}
+	worker(0, next)
+	wg.Wait()
+}
+
+func runInline(units int, worker func(slot int, next func() (int, bool))) {
+	i := 0
+	worker(0, func() (int, bool) {
+		n := i
+		i++
+		return n, n < units
+	})
+}

@@ -1,10 +1,12 @@
 // Package workload generates the join/leave schedules used by the
 // evaluation: N initial joins at uniformly random times over a warm-up
-// window, followed by J joins and L leaves spread uniformly over one
-// rekey interval — the paper's Fig. 13 scenario ("1024 users join the
-// group each at a random time between 0 and 2048 seconds; after all the
-// joins terminate, the key server processes 256 joins and 256 leaves in
-// one rekey interval of 512 seconds").
+// window, followed by J joins and L leaves spread uniformly over one or
+// more rekey intervals — the paper's Fig. 13 scenario ("1024 users join
+// the group each at a random time between 0 and 2048 seconds; after all
+// the joins terminate, the key server processes 256 joins and 256
+// leaves in one rekey interval of 512 seconds") — plus the tenancy
+// scenarios the paper never tested: flash-crowd joins (pay-per-view)
+// and the CKCS-style simultaneous mass join+leave interval.
 package workload
 
 import (
@@ -47,12 +49,19 @@ type Config struct {
 	// InitialJoins users arrive at U(0, WarmUp).
 	InitialJoins int
 	WarmUp       time.Duration
-	// ChurnJoins and ChurnLeaves are processed during one rekey
-	// interval starting at WarmUp and lasting Interval. Leaves pick
-	// distinct victims among the initial joiners.
+	// ChurnJoins and ChurnLeaves are processed during each churn
+	// interval, starting at WarmUp and each lasting Interval. Leaves
+	// pick distinct victims among the initial joiners (so every victim
+	// is a member before the churn starts, and no victim is drawn
+	// twice across the whole schedule).
 	ChurnJoins, ChurnLeaves int
 	Interval                time.Duration
-	Seed                    int64
+	// ChurnIntervals is how many consecutive churn intervals to
+	// generate; 0 (and 1) mean the classic single interval and produce
+	// identical streams. ChurnLeaves×ChurnIntervals must not exceed
+	// InitialJoins.
+	ChurnIntervals int
+	Seed           int64
 }
 
 // Paper13 returns the Fig. 13 workload.
@@ -67,13 +76,66 @@ func Paper13(seed int64) Config {
 	}
 }
 
+// FlashCrowd returns the pay-per-view scenario (`examples/payperview`
+// is the seed): base subscribers trickle in over the warm-up window,
+// then the broadcast starts and `crowd` viewers all join inside one
+// rekey interval. No leaves — nobody walks out at kickoff.
+func FlashCrowd(base, crowd int, seed int64) Config {
+	return Config{
+		InitialJoins: base,
+		WarmUp:       1024 * time.Second,
+		ChurnJoins:   crowd,
+		Interval:     512 * time.Second,
+		Seed:         seed,
+	}
+}
+
+// MassJoinLeave returns the CKCS-style mass-change scenario (see
+// PAPERS.md, "Efficient Group Key Management Schemes for Multicast
+// Dynamic Communication Systems"): from a base membership, `joins`
+// arrivals and `leaves` departures land in the same rekey interval —
+// the simultaneous-bulk case batch rekeying is claimed to win. Spread
+// over `intervals` consecutive intervals when > 1 (each interval gets
+// the full joins/leaves quota; leaves×intervals must fit in base).
+func MassJoinLeave(base, joins, leaves, intervals int, seed int64) Config {
+	return Config{
+		InitialJoins:   base,
+		WarmUp:         1024 * time.Second,
+		ChurnJoins:     joins,
+		ChurnLeaves:    leaves,
+		Interval:       512 * time.Second,
+		ChurnIntervals: intervals,
+		Seed:           seed,
+	}
+}
+
 // Generate builds the schedule.
+//
+// Events are ordered by time with an explicit deterministic tie-break:
+// equal-instant events order by (At, Kind [joins before leaves], Host,
+// Victim). The comparator is a strict total order over the schedule
+// (join Hosts and leave Victims are unique), so the output is
+// independent of emission order — collision-heavy schedules (flash
+// crowds land many events on one instant) do not silently depend on
+// sort stability.
+//
+// Stream-compatibility note: victims are drawn with a partial
+// Fisher–Yates that consumes only ChurnLeaves draws and O(ChurnLeaves)
+// memory, instead of materialising a full rng.Perm(InitialJoins). The
+// seed→schedule mapping therefore changed when this landed (and golden
+// tests pin the current mapping); at flash-crowd scale the old full
+// permutation was O(N) memory for a handful of victims.
 func Generate(cfg Config) (*Schedule, error) {
+	churnIntervals := cfg.ChurnIntervals
+	if churnIntervals <= 0 {
+		churnIntervals = 1
+	}
 	if cfg.InitialJoins < 0 || cfg.ChurnJoins < 0 || cfg.ChurnLeaves < 0 {
 		return nil, fmt.Errorf("workload: negative counts in %+v", cfg)
 	}
-	if cfg.ChurnLeaves > cfg.InitialJoins {
-		return nil, fmt.Errorf("workload: %d leaves exceed %d initial joins", cfg.ChurnLeaves, cfg.InitialJoins)
+	if cfg.ChurnLeaves*churnIntervals > cfg.InitialJoins {
+		return nil, fmt.Errorf("workload: %d leaves over %d interval(s) exceed %d initial joins",
+			cfg.ChurnLeaves, churnIntervals, cfg.InitialJoins)
 	}
 	if cfg.InitialJoins > 0 && cfg.WarmUp <= 0 {
 		return nil, fmt.Errorf("workload: warm-up window must be positive")
@@ -84,6 +146,7 @@ func Generate(cfg Config) (*Schedule, error) {
 	rng := rand.New(rand.NewSource(cfg.Seed))
 
 	s := &Schedule{}
+	s.Events = make([]Event, 0, cfg.InitialJoins+(cfg.ChurnJoins+cfg.ChurnLeaves)*churnIntervals)
 	host := 0
 	for i := 0; i < cfg.InitialJoins; i++ {
 		s.Events = append(s.Events, Event{
@@ -93,26 +156,72 @@ func Generate(cfg Config) (*Schedule, error) {
 		})
 		host++
 	}
-	// Churn joins.
-	for i := 0; i < cfg.ChurnJoins; i++ {
-		s.Events = append(s.Events, Event{
-			Kind: Join,
-			At:   cfg.WarmUp + time.Duration(rng.Int63n(int64(cfg.Interval))),
-			Host: host,
-		})
-		host++
+	// Churn joins, interval by interval.
+	for t := 0; t < churnIntervals; t++ {
+		start := cfg.WarmUp + time.Duration(t)*cfg.Interval
+		for i := 0; i < cfg.ChurnJoins; i++ {
+			s.Events = append(s.Events, Event{
+				Kind: Join,
+				At:   start + time.Duration(rng.Int63n(int64(cfg.Interval))),
+				Host: host,
+			})
+			host++
+		}
 	}
 	// Churn leaves: distinct victims among initial joiners (so a victim
-	// is guaranteed to have joined before the interval starts).
-	victims := rng.Perm(cfg.InitialJoins)[:cfg.ChurnLeaves]
-	for _, v := range victims {
-		s.Events = append(s.Events, Event{
-			Kind:   Leave,
-			At:     cfg.WarmUp + time.Duration(rng.Int63n(int64(cfg.Interval))),
-			Victim: v,
-		})
+	// is guaranteed to have joined before the churn starts), drawn once
+	// for the whole schedule and consumed interval by interval.
+	victims := partialPerm(rng, cfg.InitialJoins, cfg.ChurnLeaves*churnIntervals)
+	for t := 0; t < churnIntervals; t++ {
+		start := cfg.WarmUp + time.Duration(t)*cfg.Interval
+		for _, v := range victims[t*cfg.ChurnLeaves : (t+1)*cfg.ChurnLeaves] {
+			s.Events = append(s.Events, Event{
+				Kind:   Leave,
+				At:     start + time.Duration(rng.Int63n(int64(cfg.Interval))),
+				Victim: v,
+			})
+		}
 	}
-	sort.SliceStable(s.Events, func(i, j int) bool { return s.Events[i].At < s.Events[j].At })
+	sort.Slice(s.Events, func(i, j int) bool { return less(s.Events[i], s.Events[j]) })
 	s.Hosts = host
 	return s, nil
+}
+
+// less is the schedule's explicit total order: time, then kind (joins
+// before leaves at the same instant — a rejoining pattern never sees a
+// same-tick leave reorder ahead of an arrival), then the unique
+// per-kind key.
+func less(a, b Event) bool {
+	if a.At != b.At {
+		return a.At < b.At
+	}
+	if a.Kind != b.Kind {
+		return a.Kind < b.Kind
+	}
+	if a.Host != b.Host {
+		return a.Host < b.Host
+	}
+	return a.Victim < b.Victim
+}
+
+// partialPerm draws k distinct values from [0, n) — the first k entries
+// of a Fisher–Yates shuffle — in O(k) time and memory. The sparse
+// displacement map stands in for the array: disp[i] holds the value
+// that a full shuffle would have swapped into slot i.
+func partialPerm(rng *rand.Rand, n, k int) []int {
+	out := make([]int, k)
+	disp := make(map[int]int, k)
+	val := func(i int) int {
+		if v, ok := disp[i]; ok {
+			return v
+		}
+		return i
+	}
+	for i := 0; i < k; i++ {
+		j := i + rng.Intn(n-i)
+		out[i] = val(j)
+		disp[j] = val(i)
+		delete(disp, i) // slot i is never drawn again
+	}
+	return out
 }
