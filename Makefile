@@ -1,7 +1,13 @@
 GO ?= go
 FUZZTIME ?= 5s
 
-.PHONY: ci build vet test race bench bench-rekey bench-hot bench-mem soak-short soak-transport soak-metrics soak-scale soak-multigroup trace-audit fuzz
+# Benchmark baselines are stamped with the document schema version and
+# the source revision that produced them, so a committed BENCH_*.json
+# diff is attributable without archaeology.
+BENCH_SCHEMA ?= tmesh-bench/v1
+COMMIT := $(shell git rev-parse --short HEAD 2>/dev/null || echo unknown)
+
+.PHONY: ci build vet test race bench bench-rekey bench-hot bench-mem bench-all soak-short soak-transport soak-metrics soak-scale soak-multigroup soak-slo trace-audit fuzz
 
 # ci is the full verification gate: static checks, the race detector
 # over the whole tree (the parallel experiment harness in internal/exp
@@ -11,10 +17,11 @@ FUZZTIME ?= 5s
 # endpoints), a short fuzz pass over the wire decoders, the
 # flight-recorder theorem audit over a freshly traced soak, the
 # hot-path benchmark gate (the compiled hop filter must stay at
-# 0 allocs/op), the memory-budget gate, the N=100k scale soak, and the
+# 0 allocs/op), the memory-budget gate, the N=100k scale soak, the
 # multi-group tenancy soak (16 groups on one shared pool, 100k-join
-# flash crowd, cross-width replay).
-ci: vet race soak-transport fuzz trace-audit bench-hot bench-mem soak-scale soak-multigroup
+# flash crowd, cross-width replay), and the SLO soak (per-tenant
+# verdict stream schema-checked, exposition format golden-pinned).
+ci: vet race soak-transport fuzz trace-audit bench-hot bench-mem soak-scale soak-multigroup soak-slo
 
 build:
 	$(GO) build ./...
@@ -88,7 +95,7 @@ bench:
 bench-hot:
 	$(GO) test -run '^$$' -bench 'HopFilter|SplitIndexBuild' -benchmem -benchtime 1s . > results-bench-hot.txt || (cat results-bench-hot.txt; rm -f results-bench-hot.txt; exit 1)
 	$(GO) test -run '^$$' -bench 'ProcessIntervalPar|DistributeRekey' -benchmem -benchtime 3x . >> results-bench-hot.txt || (cat results-bench-hot.txt; rm -f results-bench-hot.txt; exit 1)
-	$(GO) run ./cmd/benchjson -out BENCH_hotpath.json -require-zero-allocs BenchmarkHopFilterCompiled < results-bench-hot.txt
+	$(GO) run ./cmd/benchjson -out BENCH_hotpath.json -schema $(BENCH_SCHEMA) -commit $(COMMIT) -require-zero-allocs BenchmarkHopFilterCompiled < results-bench-hot.txt
 	rm -f results-bench-hot.txt
 
 # bench-mem regenerates the committed memory baseline BENCH_memory.json
@@ -102,10 +109,15 @@ bench-hot:
 bench-mem:
 	$(GO) test -run '^$$' -bench 'MemberFootprint|ScaleSoakInterval' -benchmem -benchtime 1x ./internal/chaos > results-bench-mem.txt || (cat results-bench-mem.txt; rm -f results-bench-mem.txt; exit 1)
 	$(GO) run ./cmd/benchjson -out BENCH_memory.json \
+		-schema $(BENCH_SCHEMA) -commit $(COMMIT) \
 		-require-max-bytes 'BenchmarkMemberFootprint=120000000,BenchmarkScaleSoakInterval=800000000' \
 		-require-max-allocs 'BenchmarkMemberFootprint=700000,BenchmarkScaleSoakInterval=2500000' \
 		< results-bench-mem.txt
 	rm -f results-bench-mem.txt
+
+# bench-all regenerates every committed benchmark baseline with the
+# current schema/commit stamp in one shot.
+bench-all: bench-hot bench-mem
 
 # soak-scale is the in-memory million-member ladder: a N=100k scale
 # soak (flat keytree + rank-indexed member store + streaming
@@ -126,6 +138,19 @@ soak-scale:
 # the reports must be byte-identical.
 soak-multigroup:
 	$(GO) run ./cmd/rekeysim -soak -groups 16 -flash-joins 100000 -mass-churn 10000 -soak-intervals 4 -soak-rekey-parallelism 4
+
+# soak-slo is the ops-plane gate: a multi-group tenancy soak with the
+# per-tenant SLO engine streaming one "slo" record per group per rekey
+# boundary. The soak exits non-zero on any page verdict, jsonlcheck
+# schema-checks the stream (per-group boundary ordering, verdict enum,
+# objective good<=total), rekeystat renders it, and the Prometheus
+# exposition golden test pins the /metrics wire format.
+soak-slo:
+	mkdir -p results
+	$(GO) run ./cmd/rekeysim -soak -groups 8 -flash-joins 20000 -mass-churn 2000 -soak-intervals 3 -soak-rekey-parallelism 4 -metrics-out results/soak-slo.jsonl
+	$(GO) run ./internal/obs/jsonlcheck results/soak-slo.jsonl
+	$(GO) run ./cmd/rekeystat -jsonl results/soak-slo.jsonl
+	$(GO) test ./internal/obs/expose -run Golden -count=1
 
 # bench-rekey compares the staged rekey pipeline sequential vs parallel
 # at N=4096 members with real AES-GCM: key regeneration across level-1

@@ -44,8 +44,12 @@ type Result struct {
 }
 
 // Document is the committed baseline: environment header plus sorted
-// results.
+// results. Schema and Commit are stamped by the producer (-schema,
+// -commit) so a baseline diff shows which layout version and source
+// revision produced it.
 type Document struct {
+	Schema  string   `json:"schema,omitempty"`
+	Commit  string   `json:"commit,omitempty"`
 	Goos    string   `json:"goos,omitempty"`
 	Goarch  string   `json:"goarch,omitempty"`
 	Pkg     string   `json:"pkg,omitempty"`
@@ -61,6 +65,8 @@ func run(args []string, in io.Reader, errw io.Writer) int {
 	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
 	fs.SetOutput(errw)
 	out := fs.String("out", "", "write JSON here instead of stdout")
+	schema := fs.String("schema", "", "stamp this schema version into the document")
+	commit := fs.String("commit", "", "stamp this source revision into the document")
 	requireZero := fs.String("require-zero-allocs", "",
 		"comma-separated benchmark names that must be present with 0 allocs/op")
 	requireMaxBytes := fs.String("require-max-bytes", "",
@@ -89,6 +95,8 @@ func run(args []string, in io.Reader, errw io.Writer) int {
 		fmt.Fprintln(errw, "benchjson: no benchmark lines on stdin")
 		return 1
 	}
+	doc.Schema = *schema
+	doc.Commit = *commit
 	fail := false
 	for _, name := range strings.Split(*requireZero, ",") {
 		if name = strings.TrimSpace(name); name == "" {

@@ -140,3 +140,37 @@ func TestRunMaxBudgetGates(t *testing.T) {
 		}
 	}
 }
+
+// TestRunSchemaCommitStamp: -schema and -commit must land in the
+// document header so committed baselines record their provenance.
+func TestRunSchemaCommitStamp(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "bench.json")
+	code := run([]string{"-out", out, "-schema", "tmesh-bench/v1", "-commit", "abc1234"},
+		strings.NewReader(sample), os.Stderr)
+	if code != 0 {
+		t.Fatalf("run = %d, want 0", code)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc Document
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Schema != "tmesh-bench/v1" || doc.Commit != "abc1234" {
+		t.Errorf("stamp = %q/%q, want tmesh-bench/v1/abc1234", doc.Schema, doc.Commit)
+	}
+	// Without the flags the fields stay absent from the JSON entirely.
+	code = run([]string{"-out", out}, strings.NewReader(sample), os.Stderr)
+	if code != 0 {
+		t.Fatalf("run = %d, want 0", code)
+	}
+	data, err = os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(data, []byte(`"schema"`)) || bytes.Contains(data, []byte(`"commit"`)) {
+		t.Errorf("unstamped document still carries schema/commit:\n%s", data)
+	}
+}

@@ -41,6 +41,7 @@ import (
 	"tmesh/internal/exp"
 	"tmesh/internal/grouphost"
 	"tmesh/internal/obs"
+	"tmesh/internal/obs/expose"
 	"tmesh/internal/work"
 	"tmesh/internal/workload"
 )
@@ -86,7 +87,7 @@ func run(args []string) int {
 		fmt.Fprintf(fs.Output(), "usage: rekeysim [flags] <fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14|joincost|ablation|packets|loss|gnp|congestion|all>\n")
 		fmt.Fprintf(fs.Output(), "       rekeysim -soak [-seed N] [-soak-intervals N] [-soak-members N] [-soak-loss P] [-soak-rekey-parallelism N] [-metrics-out FILE] [-trace-out FILE] [-trace-sample K] [-pprof ADDR]\n")
 		fmt.Fprintf(fs.Output(), "       rekeysim -soak -soak-n N [-seed N] [-soak-churn N] [-soak-intervals N] [-soak-rekey-parallelism N]\n")
-		fmt.Fprintf(fs.Output(), "       rekeysim -soak -groups G [-seed N] [-flash-joins N] [-mass-churn N] [-soak-intervals N] [-soak-rekey-parallelism N]\n")
+		fmt.Fprintf(fs.Output(), "       rekeysim -soak -groups G [-seed N] [-flash-joins N] [-mass-churn N] [-soak-intervals N] [-soak-rekey-parallelism N] [-metrics-out FILE]\n")
 		fmt.Fprintf(fs.Output(), "       rekeysim -daemon [-transport sim|loopback|udp|tcp] [-listen ADDR] [-seed N] [-daemon-members N] [-daemon-intervals N]\n")
 		fs.PrintDefaults()
 	}
@@ -195,7 +196,6 @@ func run(args []string) int {
 				"soak-members": true,
 				"soak-loss":    true,
 				"soak-churn":   true,
-				"metrics-out":  true,
 				"trace-out":    true,
 				"trace-sample": true,
 			}
@@ -210,7 +210,7 @@ func run(args []string) int {
 				fs.Usage()
 				return 2
 			}
-			return runMultiGroupSoak(*seed, *soakGroups, *flashJoins, *massChurn, *soakIntervals, *soakRekeyPar)
+			return runMultiGroupSoak(*seed, *soakGroups, *flashJoins, *massChurn, *soakIntervals, *soakRekeyPar, *metricsOut)
 		}
 		if *flashJoins != 0 || *massChurn != 0 {
 			fmt.Fprintln(os.Stderr, "rekeysim: -flash-joins and -mass-churn require -groups (only the tenancy soak runs those workloads)")
@@ -269,20 +269,39 @@ var activeObs atomic.Pointer[obs.Registry]
 
 var publishObsOnce sync.Once
 
-// startPprof serves net/http/pprof and expvar on addr using the default
-// mux. The listener outlives run() — fine for a CLI process, and the
-// sync.Once keeps repeated run() calls (tests) from double-publishing.
-func startPprof(addr string) error {
+// metricsSource feeds /metrics (and the expvar snapshot) from whichever
+// registry is active *at scrape time*. Every endpoint dereferences
+// activeObs per request — never a captured registry — so a process that
+// runs several soaks in sequence (tests, the tenancy replay) serves each
+// one's live data instead of colliding on the first registry published.
+func metricsSource() expose.Source {
+	return expose.RegistrySource(func() *obs.Registry { return activeObs.Load() })
+}
+
+// registerOps mounts the ops plane on the default mux exactly once:
+// Prometheus exposition on /metrics, liveness on /healthz, and the raw
+// registry snapshot as expvar "tmesh_obs" (both Publish and Handle panic
+// on re-registration, hence the sync.Once across repeated run() calls).
+func registerOps() {
 	publishObsOnce.Do(func() {
 		expvar.Publish("tmesh_obs", expvar.Func(func() any {
 			return activeObs.Load().Snapshot()
 		}))
+		http.Handle("/metrics", expose.Handler(metricsSource()))
+		http.Handle("/healthz", expose.HealthzHandler())
 	})
+}
+
+// startPprof serves net/http/pprof, expvar, and the ops plane on addr
+// using the default mux. The listener outlives run() — fine for a CLI
+// process.
+func startPprof(addr string) error {
+	registerOps()
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return fmt.Errorf("pprof listener: %w", err)
 	}
-	fmt.Fprintf(os.Stderr, "# pprof/expvar on http://%s/debug/pprof/ and /debug/vars\n", ln.Addr())
+	fmt.Fprintf(os.Stderr, "# ops plane on http://%s/metrics, /healthz, /debug/pprof/, /debug/vars\n", ln.Addr())
 	go http.Serve(ln, nil) //nolint:errcheck // best-effort debug endpoint
 	return nil
 }
@@ -324,10 +343,32 @@ func runDaemon(seed int64, kind, listen string, members, intervals int, withObs 
 		return 1
 	}
 	fmt.Print(rep.String())
+	if withObs {
+		printTransportSummary(cfg.Obs)
+	}
 	if rep.TotalViolations() > 0 {
 		return 1
 	}
 	return 0
+}
+
+// printTransportSummary dumps the transport_* instruments to stderr —
+// the same live-state gauges and counters /metrics serves, for runs
+// nobody scraped. Gauges read at end-of-soak (links torn down), so the
+// interesting residue is the counters plus any gauge stuck non-zero.
+func printTransportSummary(reg *obs.Registry) {
+	snap := reg.Snapshot()
+	fmt.Fprintf(os.Stderr, "transport instruments at shutdown:\n")
+	for _, c := range snap.Counters {
+		if strings.HasPrefix(c.Name, "transport_") {
+			fmt.Fprintf(os.Stderr, "  %s = %d\n", c.Name, c.Value)
+		}
+	}
+	for _, g := range snap.Gauges {
+		if strings.HasPrefix(g.Name, "transport_") {
+			fmt.Fprintf(os.Stderr, "  %s = %d (gauge)\n", g.Name, g.Value)
+		}
+	}
 }
 
 // runScaleSoak drives the key-management scale soak — the flat-state
@@ -367,8 +408,11 @@ func runScaleSoak(seed int64, n, churn, intervals, parallelism int) int {
 // one worker pool under the staggered scheduler, with the five paper
 // auditors running per group at every interval. After the main run the
 // whole host replays at a different pool width and the reports must be
-// byte-identical; any mismatch or audit violation exits non-zero.
-func runMultiGroupSoak(seed int64, groups, flashJoins, massChurn, intervals, parallelism int) int {
+// byte-identical; any mismatch, audit violation, or per-tenant SLO page
+// exits non-zero. With metricsOut the main run streams per-group "slo"
+// records (plus a final registry snapshot) to the file; the report is
+// byte-identical either way.
+func runMultiGroupSoak(seed int64, groups, flashJoins, massChurn, intervals, parallelism int, metricsOut string) int {
 	if flashJoins <= 0 {
 		flashJoins = 100000
 	}
@@ -379,7 +423,7 @@ func runMultiGroupSoak(seed int64, groups, flashJoins, massChurn, intervals, par
 		intervals = 4
 	}
 	specs := buildTenancy(groups, flashJoins, massChurn, intervals, seed)
-	runAt := func(width int, out *os.File) (*grouphost.Report, int) {
+	runAt := func(width int, out *os.File, reg *obs.Registry, sink *obs.Sink) (*grouphost.Report, int) {
 		pool := work.NewPool(width)
 		defer pool.Close()
 		rep, err := grouphost.Run(grouphost.Config{
@@ -387,7 +431,8 @@ func runMultiGroupSoak(seed int64, groups, flashJoins, massChurn, intervals, par
 			Seed:    seed,
 			Stagger: 7 * time.Second,
 			Pool:    pool,
-			Obs:     obs.New(),
+			Obs:     reg,
+			Sink:    sink,
 			Out:     out,
 		})
 		if err != nil {
@@ -396,18 +441,33 @@ func runMultiGroupSoak(seed int64, groups, flashJoins, massChurn, intervals, par
 		}
 		return rep, 0
 	}
-	rep, code := runAt(parallelism, os.Stderr)
+	mainObs := obs.New()
+	activeObs.Store(mainObs)
+	var sink *obs.Sink
+	var metricsFile *os.File
+	if metricsOut != "" {
+		f, err := os.Create(metricsOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rekeysim:", err)
+			return 2
+		}
+		metricsFile = f
+		sink = obs.NewSink(f)
+	}
+	rep, code := runAt(parallelism, os.Stderr, mainObs, sink)
 	if code != 0 {
 		return code
 	}
 	// Replay at a different width: 1 against the parallel run, wide
-	// against an explicitly sequential one.
+	// against an explicitly sequential one. The replay runs with its own
+	// registry and no sink — the byte-compare below is what proves the
+	// ops plane does not perturb the protocol.
 	replayWidth := 1
 	if parallelism == 1 {
 		replayWidth = 0
 	}
 	fmt.Fprintf(os.Stderr, "replaying at pool width %d to cross-check determinism\n", replayWidth)
-	replay, code := runAt(replayWidth, nil)
+	replay, code := runAt(replayWidth, nil, obs.New(), nil)
 	if code != 0 {
 		return code
 	}
@@ -418,10 +478,26 @@ func runMultiGroupSoak(seed int64, groups, flashJoins, massChurn, intervals, par
 	}
 	fmt.Fprintf(os.Stderr, "replay byte-identical across pool widths (%d vs %d workers)\n",
 		rep.PoolWidth, replay.PoolWidth)
+	code = 0
 	if rep.Violations() > 0 {
-		return 1
+		code = 1
 	}
-	return 0
+	if pages := rep.SLOPages(); pages > 0 {
+		fmt.Fprintf(os.Stderr, "rekeysim: %d SLO page verdicts across tenants\n", pages)
+		code = 1
+	}
+	if metricsFile != nil {
+		sink.Emit(metricsEvent{Kind: "metrics", Snapshot: mainObs.Snapshot()})
+		if err := sink.Err(); err != nil {
+			fmt.Fprintln(os.Stderr, "rekeysim: metrics sink:", err)
+			code = 1
+		}
+		if err := metricsFile.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "rekeysim: metrics file:", err)
+			code = 1
+		}
+	}
+	return code
 }
 
 // buildTenancy lays out the soak's G groups: one flash crowd and one

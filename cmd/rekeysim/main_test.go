@@ -2,11 +2,15 @@ package main
 
 import (
 	"encoding/json"
+	"expvar"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
+	"tmesh/internal/obs"
+	"tmesh/internal/obs/expose"
 	"tmesh/internal/obs/trace"
 )
 
@@ -158,32 +162,109 @@ func TestRunSoakMetricsOut(t *testing.T) {
 		t.Fatal(err)
 	}
 	lines := strings.Split(strings.TrimRight(string(data), "\n"), "\n")
-	if len(lines) != 4 { // 3 interval records + the final metrics record
-		t.Fatalf("got %d JSONL lines, want 4:\n%s", len(lines), data)
+	// 3 interval records + 3 slo records + the final metrics record.
+	if len(lines) != 7 {
+		t.Fatalf("got %d JSONL lines, want 7:\n%s", len(lines), data)
 	}
-	last := 0
+	lastInterval, lastBoundary, intervals, slos := 0, 0, 0, 0
 	for i, line := range lines {
 		var ev struct {
 			Kind     string `json:"kind"`
 			Interval int    `json:"interval"`
+			Boundary int    `json:"boundary"`
+			Verdict  string `json:"verdict"`
 		}
 		if err := json.Unmarshal([]byte(line), &ev); err != nil {
 			t.Fatalf("line %d is not valid JSON: %v", i+1, err)
 		}
-		switch {
-		case i < len(lines)-1:
-			if ev.Kind != "interval" {
-				t.Errorf("line %d: kind = %q, want interval", i+1, ev.Kind)
+		switch ev.Kind {
+		case "interval":
+			intervals++
+			if ev.Interval <= lastInterval {
+				t.Errorf("line %d: interval %d not strictly after %d", i+1, ev.Interval, lastInterval)
 			}
-			if ev.Interval <= last {
-				t.Errorf("line %d: interval %d not strictly after %d", i+1, ev.Interval, last)
+			lastInterval = ev.Interval
+		case "slo":
+			slos++
+			if ev.Boundary <= lastBoundary {
+				t.Errorf("line %d: slo boundary %d not strictly after %d", i+1, ev.Boundary, lastBoundary)
 			}
-			last = ev.Interval
+			lastBoundary = ev.Boundary
+			if ev.Verdict != "ok" && ev.Verdict != "warn" && ev.Verdict != "page" {
+				t.Errorf("line %d: slo verdict = %q", i+1, ev.Verdict)
+			}
+		case "metrics":
+			if i != len(lines)-1 {
+				t.Errorf("line %d: metrics record before end of stream", i+1)
+			}
 		default:
-			if ev.Kind != "metrics" {
-				t.Errorf("final line: kind = %q, want metrics", ev.Kind)
-			}
+			t.Errorf("line %d: unexpected kind %q", i+1, ev.Kind)
 		}
+	}
+	if intervals != 3 || slos != 3 {
+		t.Errorf("got %d interval + %d slo records, want 3 + 3", intervals, slos)
+	}
+}
+
+// TestRunMultiGroupSoakMetricsOut drives a small tenancy soak with the
+// ops stream on: each tenant must emit one "slo" record per audited
+// boundary (strictly increasing per group), the stream must end in a
+// registry snapshot, and the soak must still exit green — telemetry on
+// the main run must not perturb the cross-width replay compare.
+func TestRunMultiGroupSoakMetricsOut(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI smoke test")
+	}
+	out := filepath.Join(t.TempDir(), "tenancy.jsonl")
+	args := []string{"-soak", "-groups", "3", "-flash-joins", "2000", "-mass-churn", "300",
+		"-soak-intervals", "2", "-soak-rekey-parallelism", "4", "-metrics-out", out}
+	if got := run(args); got != 0 {
+		t.Fatalf("run(%v) = %d, want 0", args, got)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(string(data), "\n"), "\n")
+	lastBoundary := map[string]int{}
+	slos := 0
+	for i, line := range lines {
+		var ev struct {
+			Kind     string `json:"kind"`
+			Group    string `json:"group"`
+			Boundary int    `json:"boundary"`
+			Verdict  string `json:"verdict"`
+		}
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("line %d is not valid JSON: %v", i+1, err)
+		}
+		switch ev.Kind {
+		case "slo":
+			slos++
+			if ev.Group == "" {
+				t.Errorf("line %d: slo record without group", i+1)
+			}
+			if ev.Boundary <= lastBoundary[ev.Group] {
+				t.Errorf("line %d: group %s boundary %d not strictly after %d",
+					i+1, ev.Group, ev.Boundary, lastBoundary[ev.Group])
+			}
+			lastBoundary[ev.Group] = ev.Boundary
+			if ev.Verdict != "ok" && ev.Verdict != "warn" && ev.Verdict != "page" {
+				t.Errorf("line %d: slo verdict = %q", i+1, ev.Verdict)
+			}
+		case "metrics":
+			if i != len(lines)-1 {
+				t.Errorf("line %d: metrics record before end of stream", i+1)
+			}
+		default:
+			t.Errorf("line %d: unexpected kind %q", i+1, ev.Kind)
+		}
+	}
+	if len(lastBoundary) != 3 {
+		t.Errorf("slo records cover %d groups, want 3: %v", len(lastBoundary), lastBoundary)
+	}
+	if slos == 0 {
+		t.Error("no slo records in tenancy stream")
 	}
 }
 
@@ -238,6 +319,47 @@ func TestRunSoakSinkWriteErrorExit(t *testing.T) {
 	}
 	if got := run(append(base, "-trace-out", "/dev/full")); got != 1 {
 		t.Errorf("run(-trace-out /dev/full) = %d, want 1", got)
+	}
+}
+
+// TestOpsEndpointsTrackActiveRegistry: /metrics and the tmesh_obs
+// expvar must follow activeObs per request. A process that runs several
+// instrumented soaks back to back swaps registries; a scrape landing
+// after the swap must see the new instruments, not a captured registry
+// from whenever the handler was registered.
+func TestOpsEndpointsTrackActiveRegistry(t *testing.T) {
+	registerOps()
+	h := expose.Handler(metricsSource())
+	scrape := func() string {
+		rr := httptest.NewRecorder()
+		h.ServeHTTP(rr, httptest.NewRequest("GET", "/metrics", nil))
+		if rr.Code != 200 {
+			t.Fatalf("GET /metrics = %d", rr.Code)
+		}
+		return rr.Body.String()
+	}
+
+	reg1 := obs.New()
+	reg1.Counter("first_marker").Inc()
+	activeObs.Store(reg1)
+	if body := scrape(); !strings.Contains(body, "first_marker") {
+		t.Fatalf("first scrape missing first_marker:\n%s", body)
+	}
+
+	reg2 := obs.New()
+	reg2.Counter("second_marker").Inc()
+	activeObs.Store(reg2)
+	body := scrape()
+	if !strings.Contains(body, "second_marker") {
+		t.Errorf("second scrape missing second_marker:\n%s", body)
+	}
+	if strings.Contains(body, "first_marker") {
+		t.Errorf("second scrape still serves the stale registry:\n%s", body)
+	}
+	if v := expvar.Get("tmesh_obs"); v == nil {
+		t.Error("tmesh_obs expvar not published")
+	} else if s := v.String(); !strings.Contains(s, "second_marker") || strings.Contains(s, "first_marker") {
+		t.Errorf("tmesh_obs expvar stale:\n%s", s)
 	}
 }
 

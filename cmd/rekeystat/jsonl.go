@@ -1,0 +1,99 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// jsonlRecord is the union of the telemetry stream fields rekeystat
+// consumes: "slo" records carry the per-group verdict state, "interval"
+// records (the single-group chaos stream) carry the ladder escalation
+// counts. Other kinds — "metrics", trace records — are skipped.
+type jsonlRecord struct {
+	Kind         string  `json:"kind"`
+	Group        string  `json:"group"`
+	Members      int     `json:"members"`
+	RekeyCost    int     `json:"rekey_cost"`
+	LatencyP95MS float64 `json:"latency_p95_ms"`
+	Verdict      string  `json:"verdict"`
+
+	KeyByMulticast int `json:"key_by_multicast"`
+	KeyByUnicast   int `json:"key_by_unicast"`
+	KeyByResync    int `json:"key_by_resync"`
+}
+
+// statsFromJSONL folds a telemetry stream into per-group rows: the last
+// slo record per group wins for the point-in-time columns, verdicts
+// accumulate into the ok/warn/page totals, and interval records add
+// ladder rung counts. Interval records carry no group label (the chaos
+// stream is single-group), so their rungs attach to the stream's sole
+// slo group when there is exactly one.
+func statsFromJSONL(lines [][]byte) ([]groupStat, error) {
+	byGroup := map[string]*groupStat{}
+	var mc, uc, rs int64
+	for i, line := range lines {
+		if len(line) == 0 {
+			continue
+		}
+		var rec jsonlRecord
+		if err := json.Unmarshal(line, &rec); err != nil {
+			return nil, fmt.Errorf("line %d: %w", i+1, err)
+		}
+		switch rec.Kind {
+		case "slo":
+			st, ok := byGroup[rec.Group]
+			if !ok {
+				st = &groupStat{Group: rec.Group}
+				byGroup[rec.Group] = st
+			}
+			st.Members = int64(rec.Members)
+			st.RekeyCost = int64(rec.RekeyCost)
+			st.P95MS = rec.LatencyP95MS
+			st.Verdict = rec.Verdict
+			switch rec.Verdict {
+			case "ok":
+				st.OK++
+			case "warn":
+				st.Warn++
+			case "page":
+				st.Page++
+			}
+		case "interval":
+			mc += int64(rec.KeyByMulticast)
+			uc += int64(rec.KeyByUnicast)
+			rs += int64(rec.KeyByResync)
+		}
+	}
+	if len(byGroup) == 1 {
+		for _, st := range byGroup {
+			st.Multicast, st.Unicast, st.Resync = mc, uc, rs
+		}
+	}
+	out := make([]groupStat, 0, len(byGroup))
+	for _, st := range byGroup {
+		out = append(out, *st)
+	}
+	return out, nil
+}
+
+func statsFromJSONLFile(path string) ([]groupStat, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var lines [][]byte
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 64<<20) // final snapshot lines are large
+	for sc.Scan() {
+		line := make([]byte, len(sc.Bytes()))
+		copy(line, sc.Bytes())
+		lines = append(lines, line)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return statsFromJSONL(lines)
+}

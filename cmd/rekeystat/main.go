@@ -1,0 +1,247 @@
+// Command rekeystat is the live status view over the rekey ops plane:
+// it polls a /metrics endpoint (rekeysim -soak -pprof, or the rekeyd
+// daemon soak) or reads a telemetry JSONL stream, and renders one line
+// per group — members, last rekey latency, SLO verdict, and the ladder
+// rung counts — so an operator watching a soak sees per-tenant health
+// without grepping raw exposition text.
+//
+// Usage:
+//
+//	rekeystat -metrics http://127.0.0.1:6060/metrics [-interval SECONDS]
+//	rekeystat -jsonl soak.jsonl [-interval SECONDS]
+//
+// With -interval N the view refreshes every N seconds until
+// interrupted; the default prints one snapshot and exits.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+func main() { os.Exit(run(os.Args[1:], os.Stdout)) }
+
+func run(args []string, out io.Writer) int {
+	fs := flag.NewFlagSet("rekeystat", flag.ContinueOnError)
+	metrics := fs.String("metrics", "", "poll this Prometheus exposition URL")
+	jsonl := fs.String("jsonl", "", "read this telemetry JSONL stream")
+	interval := fs.Int("interval", 0, "refresh every N seconds (0 = print once)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if (*metrics == "") == (*jsonl == "") {
+		fmt.Fprintln(os.Stderr, "rekeystat: exactly one of -metrics or -jsonl is required")
+		fs.Usage()
+		return 2
+	}
+	for {
+		var stats []groupStat
+		var err error
+		if *metrics != "" {
+			stats, err = statsFromMetricsURL(*metrics)
+		} else {
+			stats, err = statsFromJSONLFile(*jsonl)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rekeystat:", err)
+			return 1
+		}
+		renderGroups(out, stats)
+		if *interval <= 0 {
+			return 0
+		}
+		time.Sleep(time.Duration(*interval) * time.Second)
+	}
+}
+
+// groupStat is one rendered row: the per-group health view assembled
+// from either exposition series or JSONL records.
+type groupStat struct {
+	Group                      string
+	Members                    int64
+	P95MS                      float64 // last rekey key-delivery p95
+	RekeyCost                  int64
+	Verdict                    string // last boundary's worst-objective verdict
+	OK, Warn, Page             int64  // boundary verdict totals
+	Multicast, Unicast, Resync int64  // ladder rung counts
+}
+
+func verdictName(v int64) string {
+	switch v {
+	case 0:
+		return "ok"
+	case 1:
+		return "warn"
+	case 2:
+		return "page"
+	}
+	return "?"
+}
+
+// renderGroups prints the table, one line per group, sorted by name.
+func renderGroups(w io.Writer, stats []groupStat) {
+	sort.Slice(stats, func(i, j int) bool { return stats[i].Group < stats[j].Group })
+	fmt.Fprintf(w, "%-12s %9s %10s %9s %-7s %-14s %s\n",
+		"GROUP", "MEMBERS", "P95(ms)", "COST", "SLO", "OK/WARN/PAGE", "RUNGS mc/uc/rs")
+	for _, s := range stats {
+		name := s.Group
+		if name == "" {
+			name = "(all)"
+		}
+		fmt.Fprintf(w, "%-12s %9d %10.1f %9d %-7s %d/%d/%d %10d/%d/%d\n",
+			name, s.Members, s.P95MS, s.RekeyCost, s.Verdict,
+			s.OK, s.Warn, s.Page, s.Multicast, s.Unicast, s.Resync)
+	}
+	if len(stats) == 0 {
+		fmt.Fprintln(w, "(no slo series yet)")
+	}
+}
+
+// --- Prometheus exposition source -----------------------------------
+
+// series is one parsed exposition sample.
+type series struct {
+	name   string
+	labels map[string]string
+	value  float64
+}
+
+// parseExposition reads Prometheus text format (the subset
+// internal/obs/expose emits: no timestamps, no exemplars). Unknown or
+// malformed lines are skipped rather than fatal — a status viewer
+// should degrade, not crash, on a partially written scrape.
+func parseExposition(text string) []series {
+	var out []series
+	for _, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		s, ok := parseSample(line)
+		if ok {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+func parseSample(line string) (series, bool) {
+	s := series{labels: map[string]string{}}
+	rest := line
+	if i := strings.IndexByte(line, '{'); i >= 0 {
+		j := strings.LastIndexByte(line, '}')
+		if j < i {
+			return s, false
+		}
+		s.name = line[:i]
+		if !parseLabels(line[i+1:j], s.labels) {
+			return s, false
+		}
+		rest = strings.TrimSpace(line[j+1:])
+	} else {
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			return s, false
+		}
+		s.name, rest = fields[0], fields[1]
+	}
+	v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+	if err != nil {
+		return s, false
+	}
+	s.value = v
+	return s, true
+}
+
+func parseLabels(body string, into map[string]string) bool {
+	for body != "" {
+		eq := strings.IndexByte(body, '=')
+		if eq < 0 || len(body) < eq+2 || body[eq+1] != '"' {
+			return false
+		}
+		key := body[:eq]
+		rest := body[eq+2:]
+		end := strings.IndexByte(rest, '"') // expose never escapes quotes in label values
+		if end < 0 {
+			return false
+		}
+		into[key] = rest[:end]
+		body = rest[end+1:]
+		body = strings.TrimPrefix(body, ",")
+	}
+	return true
+}
+
+// statsFromSeries folds exposition samples into per-group rows. The
+// slo_* instruments carry the SLO engine's last-boundary state; the
+// recovery_rung_* counters carry the ladder escalation history.
+func statsFromSeries(all []series) []groupStat {
+	byGroup := map[string]*groupStat{}
+	get := func(labels map[string]string) *groupStat {
+		g := labels["group"]
+		st, ok := byGroup[g]
+		if !ok {
+			st = &groupStat{Group: g, Verdict: "-"}
+			byGroup[g] = st
+		}
+		return st
+	}
+	for _, s := range all {
+		switch s.name {
+		case "slo_members":
+			get(s.labels).Members = int64(s.value)
+		case "slo_latency_p95_us":
+			get(s.labels).P95MS = s.value / 1000
+		case "slo_rekey_cost":
+			get(s.labels).RekeyCost = int64(s.value)
+		case "slo_verdict":
+			get(s.labels).Verdict = verdictName(int64(s.value))
+		case "slo_verdict_ok":
+			get(s.labels).OK = int64(s.value)
+		case "slo_verdict_warn":
+			get(s.labels).Warn = int64(s.value)
+		case "slo_verdict_page":
+			get(s.labels).Page = int64(s.value)
+		case "recovery_rung_multicast":
+			get(s.labels).Multicast = int64(s.value)
+		case "recovery_rung_unicast":
+			get(s.labels).Unicast = int64(s.value)
+		case "recovery_rung_resync":
+			get(s.labels).Resync = int64(s.value)
+		}
+	}
+	out := make([]groupStat, 0, len(byGroup))
+	for _, st := range byGroup {
+		// Drop groups that carried only rung counters and no SLO state:
+		// those are shared-registry series with no tenant attribution.
+		if st.Verdict == "-" && st.Members == 0 && st.OK+st.Warn+st.Page == 0 {
+			continue
+		}
+		out = append(out, *st)
+	}
+	return out
+}
+
+func statsFromMetricsURL(url string) ([]groupStat, error) {
+	client := &http.Client{Timeout: 10 * time.Second}
+	resp, err := client.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET %s: %s", url, resp.Status)
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	if err != nil {
+		return nil, err
+	}
+	return statsFromSeries(parseExposition(string(body))), nil
+}

@@ -41,6 +41,7 @@ import (
 	"tmesh/internal/keytree"
 	"tmesh/internal/metrics"
 	"tmesh/internal/obs"
+	"tmesh/internal/obs/slo"
 	"tmesh/internal/obs/trace"
 	"tmesh/internal/overlay"
 	"tmesh/internal/recovery"
@@ -177,13 +178,18 @@ func DefaultConfig(seed int64) Config {
 
 // rekeyBatch drives the key tree's staged rekey pipeline (mark, then
 // regenerate with the configured fan-out) — the same engine the core
-// Group and the experiment harness use.
-func rekeyBatch(tree *keytree.Tree, joins, leaves []ident.ID, parallelism int) (*keytree.Message, error) {
-	plan, err := tree.Mark(joins, leaves)
+// Group and the experiment harness use. label, when non-empty, tags the
+// stages with pprof {group, stage} labels.
+func rekeyBatch(tree *keytree.Tree, joins, leaves []ident.ID, parallelism int, label string) (*keytree.Message, error) {
+	var plan *keytree.BatchPlan
+	var err error
+	obs.WithStage(label, "mark", func() { plan, err = tree.Mark(joins, leaves) })
 	if err != nil {
 		return nil, err
 	}
-	return tree.Regenerate(plan, parallelism)
+	var msg *keytree.Message
+	obs.WithStage(label, "regen", func() { msg, err = tree.Regenerate(plan, parallelism) })
+	return msg, err
 }
 
 // Interval phase fractions: churn lands in the first 45%, the Theorem 1
@@ -325,6 +331,16 @@ type Engine struct {
 	curDataTrace  *trace.Trace
 	curRekeyTrace *trace.Trace
 
+	// slo evaluates the per-boundary service objectives. It always runs
+	// (its inputs are deterministic counts and sim-time latencies), so
+	// the report's verdict totals are byte-identical with the ops plane
+	// on or off; the sink and gauges inside are nil-safe.
+	slo *slo.Engine
+	// profLabel tags pipeline stages with pprof {group, stage} labels
+	// when the ops plane is armed (Config.Obs non-nil); empty otherwise,
+	// keeping the uninstrumented hop path label-free.
+	profLabel string
+
 	auditors []Auditor
 	rep      *Report
 }
@@ -350,7 +366,11 @@ func New(cfg Config) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	tree, err := keytree.New(cfg.Params, seedBytes(cfg.Seed), keytree.Opts{Obs: cfg.Obs})
+	profLabel := ""
+	if cfg.Obs != nil {
+		profLabel = "chaos"
+	}
+	tree, err := keytree.New(cfg.Params, seedBytes(cfg.Seed), keytree.Opts{Obs: cfg.Obs, Label: profLabel})
 	if err != nil {
 		return nil, err
 	}
@@ -385,8 +405,14 @@ func New(cfg Config) (*Engine, error) {
 		splitArena:      split.NewCompileArena[keycrypt.Encryption](),
 		dataDelay:       metrics.NewStreamingSummary(),
 		keyDelay:        metrics.NewStreamingSummary(),
+		profLabel:       profLabel,
 		rep:             &Report{Seed: cfg.Seed},
 	}
+	e.slo = slo.New(slo.Config{
+		Group: "chaos",
+		Sink:  cfg.Sink,
+		Obs:   cfg.Obs.Namespace("chaos_"),
+	})
 	if cfg.TraceSink != nil {
 		e.trec = trace.NewRecorder(cfg.Seed, cfg.TraceSink)
 	}
@@ -416,7 +442,7 @@ func New(cfg Config) (*Engine, error) {
 		e.inTree[id.Key()] = true
 	}
 	sort.Slice(initial, func(i, j int) bool { return initial[i].Compare(initial[j]) < 0 })
-	if _, err := rekeyBatch(tree, initial, nil, cfg.RekeyParallelism); err != nil {
+	if _, err := rekeyBatch(tree, initial, nil, cfg.RekeyParallelism, profLabel); err != nil {
 		return nil, err
 	}
 	if _, err := mirror.process(); err != nil {
@@ -553,6 +579,7 @@ func (e *Engine) Run() (*Report, error) {
 	e.rep.FinalMembers = e.dir.Size()
 	e.rep.DataDelayMS = e.dataDelay.Summary()
 	e.rep.KeyDelayMS = e.keyDelay.Summary()
+	e.rep.SLOOK, e.rep.SLOWarn, e.rep.SLOPage = e.slo.Totals()
 	return e.rep, nil
 }
 
@@ -792,7 +819,7 @@ func (e *Engine) doRekey(now time.Duration, stats *IntervalStats, fail func(erro
 	sort.Slice(leaves, func(i, j int) bool { return leaves[i].Compare(leaves[j]) < 0 })
 
 	rekeySpan := e.cfg.Obs.StartSpan("chaos_rekey")
-	msg, err := rekeyBatch(e.tree, joins, leaves, e.cfg.RekeyParallelism)
+	msg, err := rekeyBatch(e.tree, joins, leaves, e.cfg.RekeyParallelism, e.profLabel)
 	rekeySpan.End()
 	if err != nil {
 		fail(fmt.Errorf("chaos: key tree batch: %w", err))
@@ -829,24 +856,28 @@ func (e *Engine) doRekey(now time.Duration, stats *IntervalStats, fail func(erro
 	}
 	e.rekeyStart = now
 	deliverSpan := e.cfg.Obs.StartSpan("chaos_deliver")
-	lr, err := recovery.DistributeLadder(recovery.LadderConfig{
-		Dir:              e.dir,
-		Sim:              e.sim,
-		StartAt:          now,
-		Mode:             e.cfg.Mode,
-		SplitParallelism: e.cfg.RekeyParallelism,
-		DropHop:          e.dropHop,
-		Alive:            e.mon.Alive,
-		Timeout:          e.cfg.Timeout,
-		RetryBase:        e.cfg.RetryBase,
-		RetryMax:         e.cfg.RetryMax,
-		RetryBudget:      e.cfg.RetryBudget,
-		DropUnicast:      e.dropUnicast,
-		Obs:              e.cfg.Obs,
-		Trace:            e.curRekeyTrace,
-		Arena:            e.rekeyArena,
-		SplitArena:       e.splitArena,
-	}, msg)
+	var lr *recovery.LadderResult
+	obs.WithStage(e.profLabel, "deliver", func() {
+		lr, err = recovery.DistributeLadder(recovery.LadderConfig{
+			Dir:              e.dir,
+			Sim:              e.sim,
+			StartAt:          now,
+			Mode:             e.cfg.Mode,
+			SplitParallelism: e.cfg.RekeyParallelism,
+			DropHop:          e.dropHop,
+			Alive:            e.mon.Alive,
+			Timeout:          e.cfg.Timeout,
+			RetryBase:        e.cfg.RetryBase,
+			RetryMax:         e.cfg.RetryMax,
+			RetryBudget:      e.cfg.RetryBudget,
+			DropUnicast:      e.dropUnicast,
+			Obs:              e.cfg.Obs,
+			ProfileLabel:     e.profLabel,
+			Trace:            e.curRekeyTrace,
+			Arena:            e.rekeyArena,
+			SplitArena:       e.splitArena,
+		}, msg)
+	})
 	deliverSpan.End()
 	if err != nil {
 		fail(fmt.Errorf("chaos: rekey distribution: %w", err))
@@ -969,13 +1000,45 @@ func (e *Engine) doAudit(now time.Duration, idx int, stats *IntervalStats) {
 			}
 		}
 	}
+	var keyLat []float64
 	if e.curLadder != nil {
 		for _, m := range e.rekeyLive {
 			if at, ok := e.curLadder.DeliveredAt[m.key]; ok {
-				e.keyDelay.Observe(float64(at-e.rekeyStart) / float64(time.Millisecond))
+				d := float64(at-e.rekeyStart) / float64(time.Millisecond)
+				e.keyDelay.Observe(d)
+				keyLat = append(keyLat, d)
 			}
 		}
 	}
+
+	// Close the boundary against the service objectives. Expected is the
+	// set of surviving in-tree members the coverage auditor swept (owed
+	// the interval's key); Delivered are those the ladder reached. All
+	// inputs are deterministic, so the verdict — and the "slo" record
+	// emitted right after the interval record — replays byte-identically.
+	sb := slo.Boundary{
+		Boundary:    stats.Index,
+		Members:     stats.Members,
+		Escalations: stats.KeyByUnicast + stats.KeyByResync,
+		RekeyCost:   stats.RekeyCost,
+		LatenciesMS: keyLat,
+	}
+	if lr := e.curLadder; lr != nil {
+		sb.DeadInFlight = len(lr.DeadInFlight)
+		for _, m := range e.rekeyLive {
+			if !e.alive(m.id) {
+				continue
+			}
+			if _, present := e.dir.Record(m.id); !present {
+				continue
+			}
+			sb.Expected++
+			if _, got := lr.DeliveredAt[m.key]; got {
+				sb.Delivered++
+			}
+		}
+	}
+	e.slo.Observe(sb)
 
 	// Reset per-interval state the auditors consumed.
 	e.churnSinceAudit = make(map[string]ident.ID)

@@ -88,22 +88,60 @@ func TestSoakSinkStreamDeterministic(t *testing.T) {
 		t.Errorf("same-seed sink streams diverged:\n--- run A ---\n%s\n--- run B ---\n%s", a, b)
 	}
 
+	// The stream interleaves one "interval" record and one "slo" record
+	// per boundary; both sequences must be complete and strictly ordered.
 	lines := strings.Split(strings.TrimRight(a, "\n"), "\n")
-	if len(lines) != smallConfig(22).Intervals {
-		t.Fatalf("got %d interval records, want %d", len(lines), smallConfig(22).Intervals)
-	}
-	last := 0
+	want := smallConfig(22).Intervals
+	intervals, slos := 0, 0
+	lastInterval, lastBoundary := 0, 0
 	for i, line := range lines {
-		var ev intervalEvent
-		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+		var kind struct {
+			Kind string `json:"kind"`
+		}
+		if err := json.Unmarshal([]byte(line), &kind); err != nil {
 			t.Fatalf("line %d is not valid JSON: %v", i+1, err)
 		}
-		if ev.Kind != "interval" {
-			t.Errorf("line %d: kind = %q, want interval", i+1, ev.Kind)
+		switch kind.Kind {
+		case "interval":
+			var ev intervalEvent
+			if err := json.Unmarshal([]byte(line), &ev); err != nil {
+				t.Fatalf("line %d: %v", i+1, err)
+			}
+			if ev.Interval <= lastInterval {
+				t.Errorf("line %d: interval %d not strictly after %d", i+1, ev.Interval, lastInterval)
+			}
+			lastInterval = ev.Interval
+			intervals++
+		case "slo":
+			var ev struct {
+				Group    string `json:"group"`
+				Boundary int    `json:"boundary"`
+				Verdict  string `json:"verdict"`
+			}
+			if err := json.Unmarshal([]byte(line), &ev); err != nil {
+				t.Fatalf("line %d: %v", i+1, err)
+			}
+			if ev.Group != "chaos" {
+				t.Errorf("line %d: slo group = %q, want chaos", i+1, ev.Group)
+			}
+			if ev.Boundary <= lastBoundary {
+				t.Errorf("line %d: slo boundary %d not strictly after %d", i+1, ev.Boundary, lastBoundary)
+			}
+			lastBoundary = ev.Boundary
+			switch ev.Verdict {
+			case "ok", "warn", "page":
+			default:
+				t.Errorf("line %d: slo verdict = %q", i+1, ev.Verdict)
+			}
+			slos++
+		default:
+			t.Errorf("line %d: unexpected kind %q", i+1, kind.Kind)
 		}
-		if ev.Interval <= last {
-			t.Errorf("line %d: interval %d not strictly after %d", i+1, ev.Interval, last)
-		}
-		last = ev.Interval
+	}
+	if intervals != want {
+		t.Errorf("got %d interval records, want %d", intervals, want)
+	}
+	if slos != want {
+		t.Errorf("got %d slo records, want %d", slos, want)
 	}
 }

@@ -82,6 +82,11 @@ type Report struct {
 	DataDelayMS metrics.Summary
 	KeyDelayMS  metrics.Summary
 
+	// SLOOK/SLOWarn/SLOPage count the per-boundary verdicts of the SLO
+	// engine, which always runs over deterministic inputs, so the totals
+	// byte-compare across telemetry on/off and parallelism settings.
+	SLOOK, SLOWarn, SLOPage int
+
 	// FinalViolations holds failures of the end-of-run full sweep.
 	FinalViolations []string
 }
@@ -111,6 +116,7 @@ func (r *Report) String() string {
 	fmt.Fprintf(&b, "delay_ms: data n=%d p50=%.3f p95=%.3f max=%.3f | key n=%d p50=%.3f p95=%.3f max=%.3f\n",
 		r.DataDelayMS.N, r.DataDelayMS.Median, r.DataDelayMS.P95, r.DataDelayMS.Max,
 		r.KeyDelayMS.N, r.KeyDelayMS.Median, r.KeyDelayMS.P95, r.KeyDelayMS.Max)
+	fmt.Fprintf(&b, "slo: ok=%d warn=%d page=%d\n", r.SLOOK, r.SLOWarn, r.SLOPage)
 	fmt.Fprintf(&b, "final: members=%d events=%d past_clamps=%d orphans=%d violations=%d\n",
 		r.FinalMembers, r.TotalEvents, r.PastClamps, r.OrphanEvicted, r.TotalViolations())
 	for _, v := range r.FinalViolations {

@@ -105,6 +105,10 @@ type storeApplier struct {
 	// obs, when non-nil, counts applied users and skipped deliveries;
 	// workers update the hoisted counters lock-free.
 	obs *obs.Registry
+	// label, when non-empty, wraps each worker's slot in the pprof
+	// label set {group=label, stage=apply}, so apply-stage CPU on the
+	// shared pool's long-lived workers attributes to the tenant.
+	label string
 }
 
 // NewApplier returns the pipeline's apply stage over a member store,
@@ -163,13 +167,15 @@ func (a *storeApplier) Apply(interval uint64, deliveries []split.Delivery) error
 
 	if a.pool != nil {
 		a.pool.Run(len(order), func(_ int, next func() (int, bool)) {
-			for {
-				i, ok := next()
-				if !ok {
-					return
+			obs.WithStage(a.label, "apply", func() {
+				for {
+					i, ok := next()
+					if !ok {
+						return
+					}
+					applyUser(i)
 				}
-				applyUser(i)
-			}
+			})
 		})
 	} else if workers <= 1 {
 		for i := range order {
@@ -182,13 +188,15 @@ func (a *storeApplier) Apply(interval uint64, deliveries []split.Delivery) error
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
-				for {
-					i := int(next.Add(1)) - 1
-					if i >= len(order) {
-						return
+				obs.WithStage(a.label, "apply", func() {
+					for {
+						i := int(next.Add(1)) - 1
+						if i >= len(order) {
+							return
+						}
+						applyUser(i)
 					}
-					applyUser(i)
-				}
+				})
 			}()
 		}
 		wg.Wait()

@@ -30,10 +30,12 @@ import (
 	"io"
 	"math/rand"
 	"sort"
+	"strings"
 	"time"
 
 	"tmesh/internal/ident"
 	"tmesh/internal/obs"
+	"tmesh/internal/obs/slo"
 	"tmesh/internal/vnet"
 	"tmesh/internal/work"
 	"tmesh/internal/workload"
@@ -101,6 +103,10 @@ type Config struct {
 	// Obs is the optional shared telemetry registry; each group
 	// reports under its own "<name>_" namespace.
 	Obs *obs.Registry
+	// Sink, when non-nil, receives one "slo" JSONL record per group per
+	// boundary. The records are deterministic (counts and verdicts
+	// only), so streams from seed-identical runs byte-compare.
+	Sink *obs.Sink
 	// Topology is the shared GT-ITM topology all NetPlane groups'
 	// hosts attach to; zero value selects a default sized like the
 	// chaos soak's.
@@ -132,6 +138,8 @@ type tenant interface {
 	// pump applies schedule events with At strictly before the local
 	// cutoff.
 	pump(until time.Duration) error
+	// size returns the current membership count.
+	size() int
 	// flush ends the group's current rekey interval and returns its
 	// cost.
 	flush() (cost int, err error)
@@ -196,6 +204,7 @@ func Run(cfg Config) (*Report, error) {
 
 	rep := &Report{Seed: cfg.Seed, StaggerNS: int64(cfg.Stagger), PoolWidth: cfg.Pool.Workers()}
 	tenants := make([]tenant, len(cfg.Groups))
+	slos := make([]*slo.Engine, len(cfg.Groups))
 	var agenda []boundary
 	hostBase := 0
 	for i, spec := range cfg.Groups {
@@ -219,6 +228,10 @@ func Run(cfg Config) (*Report, error) {
 			return nil, fmt.Errorf("grouphost: group %s: %w", label, err)
 		}
 		tenants[i] = t
+		// The SLO engine always runs: its inputs (membership counts,
+		// audit verdicts, rekey costs) are deterministic, so verdicts
+		// stay in the report whether or not the ops plane is on.
+		slos[i] = slo.New(slo.Config{Group: label, Sink: cfg.Sink, Obs: groupObs})
 
 		// The group's boundaries: enough to cover the schedule tail
 		// (events land strictly before their boundary, as in
@@ -266,13 +279,42 @@ func Run(cfg Config) (*Report, error) {
 		if cost > gr.MaxCost {
 			gr.MaxCost = cost
 		}
-		for _, v := range t.audit() {
+		vs := t.audit()
+		for _, v := range vs {
 			gr.Violations = append(gr.Violations, fmt.Sprintf("interval %d: %s", gr.Intervals, v))
 		}
 		gr.Audits += len(auditorNames)
+
+		// SLO boundary: a coverage/delivery violation is a member the
+		// service failed to key; other auditors flag structural issues
+		// and stay out of the delivery SLI. Latency samples only exist
+		// where a lossy transport runs (the chaos soak); the simulator
+		// transports here are reliable and synchronous.
+		missed := 0
+		for _, v := range vs {
+			if strings.HasPrefix(v, "coverage:") || strings.HasPrefix(v, "delivery:") {
+				missed++
+			}
+		}
+		members := t.size()
+		srec := slos[b.g].Observe(slo.Boundary{
+			Boundary:  gr.Intervals,
+			Members:   members,
+			Expected:  members,
+			Delivered: max(members-missed, 0),
+			RekeyCost: cost,
+		})
+		switch srec.Verdict {
+		case "page":
+			gr.SLOPage++
+		case "warn":
+			gr.SLOWarn++
+		default:
+			gr.SLOOK++
+		}
 		if cfg.Out != nil {
-			fmt.Fprintf(cfg.Out, "t=%v %s interval %d: cost=%d violations=%d\n",
-				b.at, t.name(), gr.Intervals, cost, len(gr.Violations))
+			fmt.Fprintf(cfg.Out, "t=%v %s interval %d: cost=%d violations=%d slo=%s\n",
+				b.at, t.name(), gr.Intervals, cost, len(gr.Violations), srec.Verdict)
 		}
 	}
 

@@ -41,6 +41,10 @@ type GroupReport struct {
 	// Violations holds every failure as "interval N: auditor: detail".
 	Violations []string
 	Audits     int
+	// SLOOK/SLOWarn/SLOPage count the per-boundary SLO verdicts. The
+	// engine's inputs are deterministic, so these belong in String()
+	// and must byte-compare across pool widths like everything else.
+	SLOOK, SLOWarn, SLOPage int
 }
 
 // Violations returns the total violation count across groups.
@@ -48,6 +52,16 @@ func (r *Report) Violations() int {
 	n := 0
 	for i := range r.Groups {
 		n += len(r.Groups[i].Violations)
+	}
+	return n
+}
+
+// SLOPages returns the total paging boundaries across groups; the
+// tenancy soak gates on zero.
+func (r *Report) SLOPages() int {
+	n := 0
+	for i := range r.Groups {
+		n += r.Groups[i].SLOPage
 	}
 	return n
 }
@@ -61,9 +75,10 @@ func (r *Report) String() string {
 	fmt.Fprintf(&b, "grouphost seed=%d groups=%d\n", r.Seed, len(r.Groups))
 	for i := range r.Groups {
 		g := &r.Groups[i]
-		fmt.Fprintf(&b, "%s[%s]: intervals=%d joins=%d leaves=%d members=%d cost=%d max=%d keyrings=%016x audits=%d violations=%d\n",
+		fmt.Fprintf(&b, "%s[%s]: intervals=%d joins=%d leaves=%d members=%d cost=%d max=%d keyrings=%016x audits=%d violations=%d slo=ok:%d/warn:%d/page:%d\n",
 			g.Name, g.Profile, g.Intervals, g.Joins, g.Leaves, g.FinalMembers,
-			g.TotalCost, g.MaxCost, g.KeyringDigest, g.Audits, len(g.Violations))
+			g.TotalCost, g.MaxCost, g.KeyringDigest, g.Audits, len(g.Violations),
+			g.SLOOK, g.SLOWarn, g.SLOPage)
 		for _, v := range g.Violations {
 			fmt.Fprintf(&b, "  ! %s\n", v)
 		}

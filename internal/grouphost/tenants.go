@@ -62,6 +62,7 @@ func newNetTenant(label string, spec GroupSpec, sched *workload.Schedule, net vn
 		ClusterRekeying: spec.ClusterRekeying,
 		Pool:            pool,
 		Obs:             reg,
+		Label:           label,
 	})
 	if err != nil {
 		return nil, err
@@ -78,6 +79,8 @@ func newNetTenant(label string, spec GroupSpec, sched *workload.Schedule, net vn
 }
 
 func (t *netTenant) name() string { return t.label }
+
+func (t *netTenant) size() int { return t.g.Size() }
 
 // pump applies schedule events strictly before the local cutoff.
 // Schedule host index i lives on shared-topology host
@@ -301,6 +304,7 @@ func newKeyTenant(label string, spec GroupSpec, sched *workload.Schedule, hostSe
 		Obs:          reg,
 		CapacityHint: sched.Hosts,
 		Pool:         pool,
+		Label:        label,
 	})
 	if err != nil {
 		return nil, err
@@ -320,6 +324,8 @@ func newKeyTenant(label string, spec GroupSpec, sched *workload.Schedule, hostSe
 }
 
 func (t *keyTenant) name() string { return t.label }
+
+func (t *keyTenant) size() int { return len(t.activeIdx) }
 
 func (t *keyTenant) pump(until time.Duration) error {
 	for t.cursor < len(t.sched.Events) {
@@ -388,28 +394,32 @@ func (t *keyTenant) flush() (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	plan, err := t.tree.Mark(joins, leaves)
+	var plan *keytree.BatchPlan
+	obs.WithStage(t.label, "mark", func() {
+		plan, err = t.tree.Mark(joins, leaves)
+	})
 	if err != nil {
 		return 0, err
 	}
-	msg, err := t.tree.Regenerate(plan, 1) // pool in Opts supersedes the arg
+	var msg *keytree.Message
+	obs.WithStage(t.label, "regen", func() {
+		msg, err = t.tree.Regenerate(plan, 1) // pool in Opts supersedes the arg
+	})
 	if err != nil {
 		return 0, err
 	}
-	updated, err := t.applyAll(msg, survivors)
+	var updated int64
+	obs.WithStage(t.label, "apply", func() {
+		updated, err = t.applyAll(msg, survivors)
+	})
 	if err != nil {
 		return 0, err
 	}
-	for _, id := range joins {
-		path, err := t.tree.PathKeys(id)
-		if err != nil {
-			return 0, err
-		}
-		kr, err := keytree.NewKeyring(t.params, id, path)
-		if err != nil {
-			return 0, err
-		}
-		t.store.PutKeyring(id, kr)
+	obs.WithStage(t.label, "deliver", func() {
+		err = t.deliverJoins(joins)
+	})
+	if err != nil {
+		return 0, err
 	}
 	for _, i := range joinIdx {
 		t.activeIdx[i] = true
@@ -418,6 +428,23 @@ func (t *keyTenant) flush() (int, error) {
 	t.lastUpdated = updated
 	t.lastSurvivors = len(survivors)
 	return msg.Cost(), nil
+}
+
+// deliverJoins unicasts join-time path keys: the key plane's delivery
+// stage (there is no multicast transport in this profile).
+func (t *keyTenant) deliverJoins(joins []ident.ID) error {
+	for _, id := range joins {
+		path, err := t.tree.PathKeys(id)
+		if err != nil {
+			return err
+		}
+		kr, err := keytree.NewKeyring(t.params, id, path)
+		if err != nil {
+			return err
+		}
+		t.store.PutKeyring(id, kr)
+	}
+	return nil
 }
 
 func (t *keyTenant) idsOf(indices []int) ([]ident.ID, error) {
@@ -467,45 +494,10 @@ func (t *keyTenant) applyAll(msg *keytree.Message, members []ident.ID) (int64, e
 	counts := make([]int64, width)
 	errs := make([]error, width)
 	t.pool.Run(len(members), func(slot int, next func() (int, bool)) {
-		mini := keytree.Message{Interval: msg.Interval}
-		scratch := make([]keycrypt.Encryption, 0, t.params.Digits+1)
-		for {
-			i, ok := next()
-			if !ok {
-				return
-			}
-			if errs[slot] != nil {
-				continue // drain after a slot-level failure
-			}
-			id := members[i]
-			kr := t.store.Keyring(id)
-			if kr == nil {
-				errs[slot] = fmt.Errorf("member %v has no keyring", id)
-				continue
-			}
-			var n int
-			var err error
-			if full {
-				n, err = kr.Apply(msg)
-			} else {
-				scratch = scratch[:0]
-				for l := 0; l <= t.params.Digits; l++ {
-					if idx, ok := t.encIdx[id.Prefix(l).Key()]; ok {
-						scratch = append(scratch, msg.Encryptions[idx])
-					}
-				}
-				if len(scratch) == 0 {
-					continue
-				}
-				mini.Encryptions = scratch
-				n, err = kr.Apply(&mini)
-			}
-			if err != nil {
-				errs[slot] = fmt.Errorf("member %v: %w", id, err)
-				continue
-			}
-			counts[slot] += int64(n)
-		}
+		// Label the worker goroutine for the duration of this slot's
+		// work, so apply-stage CPU attributes to the tenant even when
+		// it runs on the shared pool's long-lived workers.
+		obs.WithStage(t.label, "apply", func() { t.applySlot(msg, members, full, counts, errs, slot, next) })
 	})
 	var total int64
 	for _, c := range counts {
@@ -517,6 +509,49 @@ func (t *keyTenant) applyAll(msg *keytree.Message, members []ident.ID) (int64, e
 		}
 	}
 	return total, nil
+}
+
+// applySlot is one pool worker's share of applyAll.
+func (t *keyTenant) applySlot(msg *keytree.Message, members []ident.ID, full bool, counts []int64, errs []error, slot int, next func() (int, bool)) {
+	mini := keytree.Message{Interval: msg.Interval}
+	scratch := make([]keycrypt.Encryption, 0, t.params.Digits+1)
+	for {
+		i, ok := next()
+		if !ok {
+			return
+		}
+		if errs[slot] != nil {
+			continue // drain after a slot-level failure
+		}
+		id := members[i]
+		kr := t.store.Keyring(id)
+		if kr == nil {
+			errs[slot] = fmt.Errorf("member %v has no keyring", id)
+			continue
+		}
+		var n int
+		var err error
+		if full {
+			n, err = kr.Apply(msg)
+		} else {
+			scratch = scratch[:0]
+			for l := 0; l <= t.params.Digits; l++ {
+				if idx, ok := t.encIdx[id.Prefix(l).Key()]; ok {
+					scratch = append(scratch, msg.Encryptions[idx])
+				}
+			}
+			if len(scratch) == 0 {
+				continue
+			}
+			mini.Encryptions = scratch
+			n, err = kr.Apply(&mini)
+		}
+		if err != nil {
+			errs[slot] = fmt.Errorf("member %v: %w", id, err)
+			continue
+		}
+		counts[slot] += int64(n)
+	}
 }
 
 // audit checks the five invariants on the key plane. The overlay,

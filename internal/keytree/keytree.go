@@ -67,6 +67,11 @@ type Opts struct {
 	// parallelism argument to Regenerate is then superseded by the
 	// pool's width. The message stays byte-identical either way.
 	Pool *work.Pool
+	// Label, when non-empty, wraps each Regenerate worker's run in the
+	// pprof label set {group=Label, stage=regen}, so regen CPU — even
+	// on shared long-lived pool workers — attributes to the tenant in
+	// -pprof profiles. Profiling-only; never influences the message.
+	Label string
 }
 
 type node struct {
@@ -484,14 +489,16 @@ func (t *Tree) Regenerate(plan *BatchPlan, parallelism int) (*Message, error) {
 		if pool := t.opts.Pool; pool != nil {
 			errs := make([]error, len(groupOrder))
 			pool.Run(len(groupOrder), func(_ int, next func() (int, bool)) {
-				wr := keycrypt.NewWrapper(t.nonceSeed)
-				for {
-					i, ok := next()
-					if !ok {
-						return
+				obs.WithStage(t.opts.Label, "regen", func() {
+					wr := keycrypt.NewWrapper(t.nonceSeed)
+					for {
+						i, ok := next()
+						if !ok {
+							return
+						}
+						errs[i] = runUnit(fn, t.groupIdx[groupOrder[i]], wr)
 					}
-					errs[i] = runUnit(fn, t.groupIdx[groupOrder[i]], wr)
-				}
+				})
 			})
 			for _, err := range errs {
 				if err != nil {
@@ -520,14 +527,16 @@ func (t *Tree) Regenerate(plan *BatchPlan, parallelism int) (*Message, error) {
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
-				wr := keycrypt.NewWrapper(t.nonceSeed)
-				for {
-					i := int(next.Add(1)) - 1
-					if i >= len(groupOrder) {
-						return
+				obs.WithStage(t.opts.Label, "regen", func() {
+					wr := keycrypt.NewWrapper(t.nonceSeed)
+					for {
+						i := int(next.Add(1)) - 1
+						if i >= len(groupOrder) {
+							return
+						}
+						errs[i] = runUnit(fn, t.groupIdx[groupOrder[i]], wr)
 					}
-					errs[i] = runUnit(fn, t.groupIdx[groupOrder[i]], wr)
-				}
+				})
 			}()
 		}
 		wg.Wait()

@@ -1,0 +1,219 @@
+// Package expose renders an obs.Snapshot in the Prometheus text-based
+// exposition format (version 0.0.4), so any scraper can pull the
+// registry of a running soak or rekeyd daemon from the same HTTP server
+// that serves the -pprof mux.
+//
+// The obs registry keeps flat, prefix-namespaced instrument names
+// ("flash_core_apply_users"); Prometheus wants one metric family with a
+// label per tenant. Render bridges the two: every namespace prefix ever
+// derived from the registry (Registry.Prefixes) is matched against each
+// instrument name — longest prefix wins — and the match is stripped and
+// re-emitted as a group="<prefix minus trailing _>" label on the base
+// family name. Names are sanitised to the Prometheus charset, histogram
+// buckets are re-accumulated into cumulative le-labelled series with a
+// synthetic +Inf bucket, and families and series are emitted in sorted
+// order so output is canonical and golden-testable.
+package expose
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+
+	"tmesh/internal/obs"
+)
+
+// series is one labelled sample of a family: the base family name, the
+// derived group label ("" for unlabelled), and the instrument.
+type series[T any] struct {
+	family string
+	group  string
+	v      T
+}
+
+// splitGroup strips the longest matching namespace prefix from name and
+// returns (family, group). prefixes must be sorted; group is the prefix
+// with the trailing "_" separator removed.
+func splitGroup(name string, prefixes []string) (string, string) {
+	best := ""
+	for _, p := range prefixes {
+		if len(p) > len(best) && len(name) > len(p) && strings.HasPrefix(name, p) {
+			best = p
+		}
+	}
+	if best == "" {
+		return name, ""
+	}
+	return name[len(best):], strings.TrimSuffix(best, "_")
+}
+
+// Sanitize maps a registry instrument name onto the Prometheus metric
+// name charset [a-zA-Z_:][a-zA-Z0-9_:]*: invalid runes become '_' and a
+// leading digit gets a '_' prefix.
+func Sanitize(name string) string {
+	if name == "" {
+		return "_"
+	}
+	var b strings.Builder
+	for i, r := range name {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(r >= '0' && r <= '9' && i > 0)
+		switch {
+		case ok:
+			b.WriteRune(r)
+		case r >= '0' && r <= '9': // leading digit
+			b.WriteByte('_')
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+// labels renders the brace-delimited label set for a series: the group
+// label plus any extra key="value" pairs already formatted by the
+// caller. Empty when there is nothing to say.
+func labels(group string, extra ...string) string {
+	var parts []string
+	if group != "" {
+		parts = append(parts, `group="`+escapeLabel(group)+`"`)
+	}
+	parts = append(parts, extra...)
+	if len(parts) == 0 {
+		return ""
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// group collects snapshot values into sorted families of sorted series.
+func group[T any](vals []T, nameOf func(T) string, prefixes []string) (families []string, byFamily map[string][]series[T]) {
+	byFamily = make(map[string][]series[T])
+	for _, v := range vals {
+		fam, grp := splitGroup(nameOf(v), prefixes)
+		fam = Sanitize(fam)
+		byFamily[fam] = append(byFamily[fam], series[T]{family: fam, group: grp, v: v})
+	}
+	families = make([]string, 0, len(byFamily))
+	for fam := range byFamily {
+		families = append(families, fam)
+		sort.Slice(byFamily[fam], func(i, j int) bool { return byFamily[fam][i].group < byFamily[fam][j].group })
+	}
+	sort.Strings(families)
+	return families, byFamily
+}
+
+// Render writes the snapshot in Prometheus text format v0.0.4.
+// prefixes are the registry's namespace prefixes (Registry.Prefixes);
+// instruments whose name starts with one are emitted under the stripped
+// base name with a group label. Output is fully deterministic for a
+// given snapshot: families sorted by name, series sorted by group,
+// histogram buckets cumulative and ascending with a trailing +Inf.
+func Render(w io.Writer, snap obs.Snapshot, prefixes []string) error {
+	writeValues := func(vals []obs.ValueSnapshot, typ string) error {
+		fams, byFam := group(vals, func(v obs.ValueSnapshot) string { return v.Name }, prefixes)
+		for _, fam := range fams {
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", fam, typ); err != nil {
+				return err
+			}
+			for _, s := range byFam[fam] {
+				if _, err := fmt.Fprintf(w, "%s%s %d\n", fam, labels(s.group), s.v.Value); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	if err := writeValues(snap.Counters, "counter"); err != nil {
+		return err
+	}
+	if err := writeValues(snap.Gauges, "gauge"); err != nil {
+		return err
+	}
+
+	fams, byFam := group(snap.Histograms, func(h obs.HistogramSnapshot) string { return h.Name }, prefixes)
+	for _, fam := range fams {
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", fam); err != nil {
+			return err
+		}
+		for _, s := range byFam[fam] {
+			h := s.v
+			// Snapshot buckets are per-bucket counts in ascending bound
+			// order with the overflow (Upper=-1) last and zero-count
+			// buckets omitted; re-accumulate and fold the overflow into
+			// the mandatory +Inf bucket (cumulative == Count).
+			cum := int64(0)
+			for _, b := range h.Buckets {
+				if b.Upper < 0 {
+					continue
+				}
+				cum += b.Count
+				le := `le="` + strconv.FormatInt(b.Upper, 10) + `"`
+				if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", fam, labels(s.group, le), cum); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", fam, labels(s.group, `le="+Inf"`), h.Count); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s_sum%s %d\n", fam, labels(s.group), h.Sum); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s_count%s %d\n", fam, labels(s.group), h.Count); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// ContentType is the exposition media type scrapers expect.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// Source yields the snapshot and namespace prefixes for one scrape. It
+// is called per request, so a handler built over an atomically-swapped
+// registry always serves the currently active one.
+type Source func() (obs.Snapshot, []string)
+
+// Handler serves /metrics from src. A nil snapshot source (src itself
+// nil) serves an empty exposition rather than failing, matching the
+// nil-registry off-switch.
+func Handler(src Source) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", ContentType)
+		if src == nil {
+			return
+		}
+		snap, prefixes := src()
+		_ = Render(w, snap, prefixes)
+	})
+}
+
+// RegistrySource adapts a registry getter into a Source. get is invoked
+// per scrape and may return nil (serves an empty exposition).
+func RegistrySource(get func() *obs.Registry) Source {
+	return func() (obs.Snapshot, []string) {
+		r := get()
+		return r.Snapshot(), r.Prefixes()
+	}
+}
+
+// HealthzHandler serves a constant 200 "ok": liveness for scrapers and
+// load balancers.
+func HealthzHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = io.WriteString(w, "ok\n")
+	})
+}

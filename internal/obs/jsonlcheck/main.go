@@ -1,10 +1,13 @@
 // Command jsonlcheck sanity-checks a telemetry JSONL file produced by
 // `rekeysim -soak -metrics-out` or `-trace-out`: every line must be
 // valid JSON, records of kind "interval" must carry strictly increasing
-// interval numbers, and flight-recorder records (kinds "trace",
-// "member", "hop", "unicast", "resync", "end") must carry their
-// required fields with every hop's parent span recorded earlier in the
-// same trace. Exit status 0 on a clean file, 1 on any violation.
+// interval numbers, records of kind "slo" must carry a group, a known
+// verdict, strictly increasing per-group boundary numbers, and
+// objectives whose good count never exceeds the total, and
+// flight-recorder records (kinds "trace", "member", "hop", "unicast",
+// "resync", "end") must carry their required fields with every hop's
+// parent span recorded earlier in the same trace. Exit status 0 on a
+// clean file, 1 on any violation.
 //
 // Usage: jsonlcheck <file.jsonl>
 package main
@@ -33,9 +36,9 @@ func run(args []string) int {
 	defer f.Close()
 
 	var (
-		lines, intervals, traceRecs int
-		lastInterval                = 0
-		bad                         int
+		lines, intervals, traceRecs, sloRecs int
+		lastInterval                         = 0
+		bad                                  int
 	)
 	complain := func(format string, a ...any) {
 		fmt.Fprintf(os.Stderr, "jsonlcheck: line %d: "+format+"\n", append([]any{lines}, a...)...)
@@ -45,6 +48,10 @@ func run(args []string) int {
 	// the parent-before-child ordering of the flight recorder is
 	// checkable in one pass.
 	spansSeen := map[string]map[int64]bool{}
+	// lastBoundary tracks, per SLO group, the last boundary number, so
+	// per-tenant slo streams interleaved by the multi-group host are
+	// still checkable for strict ordering.
+	lastBoundary := map[string]int{}
 	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
 	for sc.Scan() {
@@ -59,6 +66,17 @@ func run(args []string) int {
 			Parent   int64  `json:"parent"`
 			To       string `json:"to"`
 			Level    int    `json:"level"`
+
+			Group      string `json:"group"`
+			Boundary   int    `json:"boundary"`
+			Verdict    string `json:"verdict"`
+			Objectives []struct {
+				Name    string  `json:"name"`
+				Good    int64   `json:"good"`
+				Total   int64   `json:"total"`
+				Target  float64 `json:"target"`
+				Verdict string  `json:"verdict"`
+			} `json:"objectives"`
 		}
 		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
 			complain("invalid JSON: %v", err)
@@ -71,6 +89,36 @@ func run(args []string) int {
 				complain("interval %d not greater than previous %d", rec.Interval, lastInterval)
 			}
 			lastInterval = rec.Interval
+		case "slo":
+			sloRecs++
+			if rec.Group == "" {
+				complain("slo record without group")
+			}
+			if rec.Verdict != "ok" && rec.Verdict != "warn" && rec.Verdict != "page" {
+				complain("slo record with verdict %q", rec.Verdict)
+			}
+			if rec.Boundary <= lastBoundary[rec.Group] {
+				complain("slo boundary %d for group %q not greater than previous %d",
+					rec.Boundary, rec.Group, lastBoundary[rec.Group])
+			}
+			lastBoundary[rec.Group] = rec.Boundary
+			if len(rec.Objectives) == 0 {
+				complain("slo record without objectives")
+			}
+			for _, o := range rec.Objectives {
+				if o.Name == "" {
+					complain("slo objective without name")
+				}
+				if o.Good > o.Total || o.Good < 0 {
+					complain("slo objective %q good=%d exceeds total=%d", o.Name, o.Good, o.Total)
+				}
+				if o.Target <= 0 || o.Target > 1 {
+					complain("slo objective %q target=%g outside (0,1]", o.Name, o.Target)
+				}
+				if o.Verdict != "ok" && o.Verdict != "warn" && o.Verdict != "page" {
+					complain("slo objective %q with verdict %q", o.Name, o.Verdict)
+				}
+			}
 		case "trace":
 			traceRecs++
 			if rec.Trace == "" || rec.Label == "" {
@@ -118,14 +166,14 @@ func run(args []string) int {
 		fmt.Fprintln(os.Stderr, "jsonlcheck:", err)
 		return 2
 	}
-	if intervals == 0 && traceRecs == 0 {
-		fmt.Fprintln(os.Stderr, "jsonlcheck: no interval or trace records found")
+	if intervals == 0 && traceRecs == 0 && sloRecs == 0 {
+		fmt.Fprintln(os.Stderr, "jsonlcheck: no interval, slo, or trace records found")
 		bad++
 	}
 	if bad > 0 {
 		return 1
 	}
-	fmt.Printf("jsonlcheck: %s ok (%d lines, %d interval records, %d trace records)\n",
-		args[0], lines, intervals, traceRecs)
+	fmt.Printf("jsonlcheck: %s ok (%d lines, %d interval records, %d slo records, %d trace records)\n",
+		args[0], lines, intervals, sloRecs, traceRecs)
 	return 0
 }

@@ -1,0 +1,74 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func checkFile(t *testing.T, content string) int {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "stream.jsonl")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return run([]string{path})
+}
+
+const goodSLO = `{"kind":"slo","group":"flash","boundary":1,"members":10,"verdict":"ok","objectives":[{"name":"delivery","good":10,"total":10,"target":0.999,"verdict":"ok"}]}
+{"kind":"slo","group":"mass","boundary":1,"members":5,"verdict":"ok","objectives":[{"name":"delivery","good":5,"total":5,"target":0.999,"verdict":"ok"}]}
+{"kind":"slo","group":"flash","boundary":2,"members":11,"verdict":"warn","objectives":[{"name":"delivery","good":9,"total":11,"target":0.999,"verdict":"warn"}]}
+`
+
+func TestSLORecordsClean(t *testing.T) {
+	if got := checkFile(t, goodSLO); got != 0 {
+		t.Errorf("clean slo stream = %d, want 0", got)
+	}
+}
+
+func TestSLORecordViolations(t *testing.T) {
+	cases := map[string]string{
+		"missing group":         `{"kind":"slo","boundary":1,"verdict":"ok","objectives":[{"name":"x","good":1,"total":1,"target":0.9,"verdict":"ok"}]}` + "\n",
+		"bad verdict":           `{"kind":"slo","group":"g","boundary":1,"verdict":"meh","objectives":[{"name":"x","good":1,"total":1,"target":0.9,"verdict":"ok"}]}` + "\n",
+		"no objectives":         `{"kind":"slo","group":"g","boundary":1,"verdict":"ok"}` + "\n",
+		"good exceeds total":    `{"kind":"slo","group":"g","boundary":1,"verdict":"ok","objectives":[{"name":"x","good":2,"total":1,"target":0.9,"verdict":"ok"}]}` + "\n",
+		"target out of range":   `{"kind":"slo","group":"g","boundary":1,"verdict":"ok","objectives":[{"name":"x","good":1,"total":1,"target":1.5,"verdict":"ok"}]}` + "\n",
+		"objective no name":     `{"kind":"slo","group":"g","boundary":1,"verdict":"ok","objectives":[{"good":1,"total":1,"target":0.9,"verdict":"ok"}]}` + "\n",
+		"boundary not rising":   `{"kind":"slo","group":"g","boundary":2,"verdict":"ok","objectives":[{"name":"x","good":1,"total":1,"target":0.9,"verdict":"ok"}]}` + "\n" + `{"kind":"slo","group":"g","boundary":2,"verdict":"ok","objectives":[{"name":"x","good":1,"total":1,"target":0.9,"verdict":"ok"}]}` + "\n",
+		"objective bad verdict": `{"kind":"slo","group":"g","boundary":1,"verdict":"ok","objectives":[{"name":"x","good":1,"total":1,"target":0.9,"verdict":"maybe"}]}` + "\n",
+	}
+	for name, content := range cases {
+		if got := checkFile(t, content); got != 1 {
+			t.Errorf("%s: exit = %d, want 1", name, got)
+		}
+	}
+}
+
+// Boundaries are tracked per group: the multi-group host interleaves
+// tenants, so group B restarting at boundary 1 after group A reached 3
+// is legal.
+func TestSLOBoundaryPerGroup(t *testing.T) {
+	content := `{"kind":"slo","group":"a","boundary":3,"verdict":"ok","objectives":[{"name":"x","good":1,"total":1,"target":0.9,"verdict":"ok"}]}
+{"kind":"slo","group":"b","boundary":1,"verdict":"ok","objectives":[{"name":"x","good":1,"total":1,"target":0.9,"verdict":"ok"}]}
+`
+	if got := checkFile(t, content); got != 0 {
+		t.Errorf("per-group boundaries = %d, want 0", got)
+	}
+}
+
+func TestIntervalOrdering(t *testing.T) {
+	good := `{"kind":"interval","interval":1}` + "\n" + `{"kind":"interval","interval":2}` + "\n"
+	if got := checkFile(t, good); got != 0 {
+		t.Errorf("increasing intervals = %d, want 0", got)
+	}
+	bad := `{"kind":"interval","interval":2}` + "\n" + `{"kind":"interval","interval":2}` + "\n"
+	if got := checkFile(t, bad); got != 1 {
+		t.Errorf("repeated interval = %d, want 1", got)
+	}
+}
+
+func TestEmptyStreamFails(t *testing.T) {
+	if got := checkFile(t, `{"kind":"metrics"}`+"\n"); got != 1 {
+		t.Error("stream with no checked records must fail")
+	}
+}

@@ -184,6 +184,7 @@ type registryState struct {
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
+	prefixes map[string]struct{}
 }
 
 // New creates an empty registry.
@@ -192,6 +193,7 @@ func New() *Registry {
 		counters: make(map[string]*Counter),
 		gauges:   make(map[string]*Gauge),
 		hists:    make(map[string]*Histogram),
+		prefixes: make(map[string]struct{}),
 	}}
 }
 
@@ -206,7 +208,31 @@ func (r *Registry) Namespace(prefix string) *Registry {
 	if r == nil {
 		return nil
 	}
-	return &Registry{prefix: r.prefix + prefix, st: r.st}
+	v := &Registry{prefix: r.prefix + prefix, st: r.st}
+	if v.prefix != "" {
+		r.st.mu.Lock()
+		r.st.prefixes[v.prefix] = struct{}{}
+		r.st.mu.Unlock()
+	}
+	return v
+}
+
+// Prefixes lists every accumulated namespace prefix ever derived from
+// this registry's shared space, sorted. The Prometheus exposition layer
+// uses these to turn per-tenant name prefixes back into group labels.
+// Safe on a nil registry (returns nil).
+func (r *Registry) Prefixes() []string {
+	if r == nil {
+		return nil
+	}
+	r.st.mu.Lock()
+	defer r.st.mu.Unlock()
+	out := make([]string, 0, len(r.st.prefixes))
+	for p := range r.st.prefixes {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // Counter returns the named counter, creating it on first use. Returns

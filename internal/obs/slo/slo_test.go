@@ -1,0 +1,157 @@
+package slo
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"tmesh/internal/obs"
+)
+
+func healthy(n int) Boundary {
+	return Boundary{
+		Boundary: n, Members: 100, Expected: 100, Delivered: 100,
+		QueueSends: 500, LatenciesMS: []float64{1, 2, 3, 40, 120},
+		RekeyCost: 37,
+	}
+}
+
+// TestHealthyBoundariesStayOK: a run with full delivery, no
+// escalations, and in-budget latencies must close every boundary ok.
+func TestHealthyBoundariesStayOK(t *testing.T) {
+	e := New(Config{Group: "g"})
+	for i := 1; i <= 30; i++ {
+		rec := e.Observe(healthy(i))
+		if rec.Verdict != "ok" {
+			t.Fatalf("boundary %d verdict = %s, want ok\n%+v", i, rec.Verdict, rec.Objectives)
+		}
+		if rec.Kind != "slo" || rec.Group != "g" || rec.Boundary != i {
+			t.Fatalf("record header wrong: %+v", rec)
+		}
+	}
+	ok, warn, page := e.Totals()
+	if ok != 30 || warn != 0 || page != 0 {
+		t.Errorf("totals = %d/%d/%d, want 30/0/0", ok, warn, page)
+	}
+}
+
+// TestDeliveryFailurePages: a surviving member without the key is a
+// paper-invariant violation; the delivery objective must page at once
+// (fast and slow windows both burn far past budget).
+func TestDeliveryFailurePages(t *testing.T) {
+	e := New(Config{Group: "g"})
+	b := healthy(1)
+	b.Delivered = 90
+	rec := e.Observe(b)
+	if rec.Verdict != "page" {
+		t.Fatalf("verdict = %s, want page\n%+v", rec.Verdict, rec.Objectives)
+	}
+	if rec.Objectives[0].Name != "delivery" || rec.Objectives[0].Verdict != "page" {
+		t.Errorf("delivery objective = %+v, want page", rec.Objectives[0])
+	}
+}
+
+// TestSlowWindowGating: once the slow window holds enough healthy
+// history, a single moderately-bad boundary warns (fast burn >= 1)
+// without paging (slow window doesn't confirm).
+func TestSlowWindowGating(t *testing.T) {
+	e := New(Config{Group: "g", FastWindow: 1, SlowWindow: 100})
+	for i := 1; i <= 99; i++ {
+		e.Observe(healthy(i))
+	}
+	b := healthy(100)
+	b.Escalations = 30 // ladder err 0.30 vs budget 0.25: burnFast 1.2
+	rec := e.Observe(b)
+	ladder := rec.Objectives[2]
+	if ladder.Name != "ladder" {
+		t.Fatalf("objective order changed: %+v", rec.Objectives)
+	}
+	if ladder.Verdict != "warn" || rec.Verdict != "warn" {
+		t.Errorf("ladder = %s overall = %s, want warn/warn (burnFast=%.2f burnSlow=%.2f)",
+			ladder.Verdict, rec.Verdict, ladder.BurnFast, ladder.BurnSlow)
+	}
+}
+
+// TestLatencyBudget: latencies above the budget burn the latency
+// objective; within budget they don't.
+func TestLatencyBudget(t *testing.T) {
+	e := New(Config{Group: "g", LatencyBudgetMS: 10})
+	b := healthy(1)
+	b.LatenciesMS = []float64{1, 2, 50, 60, 70} // 3 of 5 over budget
+	rec := e.Observe(b)
+	lat := rec.Objectives[1]
+	if lat.Name != "latency" || lat.Good != 2 || lat.Total != 5 {
+		t.Fatalf("latency objective = %+v, want good=2 total=5", lat)
+	}
+	if lat.Verdict != "page" {
+		t.Errorf("latency verdict = %s, want page at 60%% error", lat.Verdict)
+	}
+}
+
+// TestQuantilesAndInstruments: the record carries streaming quantiles
+// and the live instruments land in the registry under the namespace.
+func TestQuantilesAndInstruments(t *testing.T) {
+	r := obs.New()
+	e := New(Config{Group: "flash", Obs: r.Namespace("flash_")})
+	var rec Record
+	for i := 1; i <= 10; i++ {
+		rec = e.Observe(healthy(i))
+	}
+	if rec.LatencyP50MS <= 0 || rec.LatencyP95MS < rec.LatencyP50MS {
+		t.Errorf("quantiles p50=%.1f p95=%.1f look wrong", rec.LatencyP50MS, rec.LatencyP95MS)
+	}
+	if got := r.Gauge("flash_slo_members").Value(); got != 100 {
+		t.Errorf("flash_slo_members = %d, want 100", got)
+	}
+	if got := r.Counter("flash_slo_verdict_ok").Value(); got != 10 {
+		t.Errorf("flash_slo_verdict_ok = %d, want 10", got)
+	}
+	if got := r.Gauge("flash_slo_verdict").Value(); got != 0 {
+		t.Errorf("flash_slo_verdict = %d, want 0 (ok)", got)
+	}
+}
+
+// TestDeterministicRecords: two engines fed the same boundaries emit
+// byte-identical JSONL — the cross-width replay contract.
+func TestDeterministicRecords(t *testing.T) {
+	run := func() string {
+		var buf bytes.Buffer
+		e := New(Config{Group: "g", Sink: obs.NewSink(&buf)})
+		for i := 1; i <= 25; i++ {
+			b := healthy(i)
+			b.LatenciesMS = append(b.LatenciesMS, float64(i*7%200))
+			if i%11 == 0 {
+				b.Escalations = 5
+				b.DeadInFlight = 1
+			}
+			e.Observe(b)
+		}
+		return buf.String()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatal("same boundaries produced different SLO streams")
+	}
+	for _, line := range bytes.Split([]byte(a), []byte("\n")) {
+		if len(line) == 0 {
+			continue
+		}
+		var rec map[string]any
+		if err := json.Unmarshal(line, &rec); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", line, err)
+		}
+		if rec["kind"] != "slo" {
+			t.Fatalf("line kind = %v, want slo", rec["kind"])
+		}
+	}
+}
+
+// TestZeroEventObjectivesAreHealthy: a tenant with no transport and no
+// recorded latencies must not burn those budgets (no events, no error).
+func TestZeroEventObjectivesAreHealthy(t *testing.T) {
+	e := New(Config{Group: "g"})
+	rec := e.Observe(Boundary{Boundary: 1, Members: 10, Expected: 10, Delivered: 10})
+	if rec.Verdict != "ok" {
+		t.Fatalf("verdict = %s, want ok\n%+v", rec.Verdict, rec.Objectives)
+	}
+}

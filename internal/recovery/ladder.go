@@ -71,6 +71,10 @@ type LadderConfig struct {
 	// counters, retry counts, and dead-in-flight drops land there. The
 	// counts are deterministic; nothing flows back into the result.
 	Obs *obs.Registry
+	// ProfileLabel, when non-empty, is forwarded to the rung-1 transport
+	// so the hop callbacks that later run on the shared simulator carry
+	// the pprof label set {group=ProfileLabel, stage=deliver}.
+	ProfileLabel string
 	// Trace, when non-nil, is the flight-recorder trace the whole
 	// ladder joins: the rung-1 multicast emits its hop records into it,
 	// and rungs 2-3 add unicast/resync records, so the
@@ -201,6 +205,7 @@ func DistributeLadder(cfg LadderConfig, msg *keytree.Message) (*LadderResult, er
 		Trace:          cfg.Trace,
 		TraceItems:     split.EncIDs,
 		Arena:          cfg.Arena,
+		ProfileLabel:   cfg.ProfileLabel,
 	}
 	if cfg.Mode == split.PerEncryption {
 		tcfg.SplitHop = split.NewIndexWith(cfg.Dir.Tree(), msg.Encryptions, cfg.SplitParallelism, cfg.SplitArena).Split

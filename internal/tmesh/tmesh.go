@@ -94,6 +94,12 @@ type Config[P any] struct {
 	// Obs, when non-nil, receives session counters (currently
 	// tmesh_duplicate_deliveries, the Theorem 1 alarm). Nil-safe.
 	Obs *obs.Registry
+	// ProfileLabel, when non-empty, wraps every scheduled hop callback
+	// (the send start and each delivery) in the pprof label set
+	// {group=ProfileLabel, stage=deliver}, so hop-path CPU burned on a
+	// shared simulator goroutine attributes to the driving session. The
+	// empty default keeps the hot path free of label plumbing.
+	ProfileLabel string
 	// Arena, when non-nil, recycles the session's delivery records (the
 	// per-user stats slab and the user/link maps) from a previous
 	// session instead of allocating them anew — a soak running thousands
@@ -290,7 +296,9 @@ func Multicast[P any](cfg Config[P], payload P) (*Result, error) {
 		return nil, err
 	}
 	sim.At(maxDuration(cfg.StartAt, sim.Now()), func(now time.Duration) {
-		m.start(payload, now)
+		obs.WithStage(cfg.ProfileLabel, "deliver", func() {
+			m.start(payload, now)
+		})
 	})
 	if shared {
 		return res, nil
@@ -453,7 +461,9 @@ func (m *machine[P]) sendVia(fromHost vnet.HostID, fromID ident.ID, fromLevel in
 		span = m.tr.Hop(m.hopRecord(parentSpan, fromID, fromLevel, toID, level, subtree, payload, hopPayload, units, depart, arrive, false))
 	}
 	m.sim.At(arrive, func(at time.Duration) {
-		m.deliver(toID, toHost, level, fromID, fromLevel, hopPayload, at, span)
+		obs.WithStage(m.cfg.ProfileLabel, "deliver", func() {
+			m.deliver(toID, toHost, level, fromID, fromLevel, hopPayload, at, span)
+		})
 	})
 }
 

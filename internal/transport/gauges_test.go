@@ -1,0 +1,112 @@
+package transport
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"tmesh/internal/obs"
+)
+
+// gaugeVal reads a registry gauge by name (creating it if the transport
+// never touched it, which reads as 0).
+func gaugeVal(reg *obs.Registry, name string) int64 {
+	return reg.Gauge(name).Value()
+}
+
+// TestLoopbackStateGauges: the per-state population gauges must track
+// registrations through add, remove, dead-peer sends, and close — and
+// drain back to zero when the endpoint is gone.
+func TestLoopbackStateGauges(t *testing.T) {
+	reg := obs.New()
+	sw := NewSwitch()
+	a, err := NewLoopback(sw, Config{ID: "A", Obs: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.AddPeer("B", "B"); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.AddPeer("C", "C"); err != nil {
+		t.Fatal(err)
+	}
+	if got := gaugeVal(reg, "transport_peers_up"); got != 2 {
+		t.Fatalf("peers_up = %d after two AddPeer, want 2", got)
+	}
+
+	a.RemovePeer("C")
+	if got := gaugeVal(reg, "transport_peers_up"); got != 1 {
+		t.Fatalf("peers_up = %d after RemovePeer, want 1", got)
+	}
+	if got := gaugeVal(reg, "transport_peers_closed"); got != 0 {
+		t.Fatalf("peers_closed = %d after untrack, want 0", got)
+	}
+
+	// B is registered but not attached to the switch: the send drops and
+	// the link reads down.
+	if err := a.Send("B", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if got := gaugeVal(reg, "transport_peers_down"); got != 1 {
+		t.Fatalf("peers_down = %d after send to dead peer, want 1", got)
+	}
+	if got := gaugeVal(reg, "transport_peers_up"); got != 0 {
+		t.Fatalf("peers_up = %d after send to dead peer, want 0", got)
+	}
+
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{
+		"transport_peers_down", "transport_peers_dialing", "transport_peers_up",
+		"transport_peers_redialing", "transport_peers_closed", "transport_queue_depth",
+	} {
+		if got := gaugeVal(reg, name); got != 0 {
+			t.Errorf("%s = %d after Close, want 0", name, got)
+		}
+	}
+}
+
+// TestTCPQueueDepthAndStateGauges: a link parked in redial backoff holds
+// its queued frames, so the depth gauge must count them live — and the
+// state gauges must show the one peer redialing. Close drops the queue
+// with accounting and returns every gauge to zero.
+func TestTCPQueueDepthAndStateGauges(t *testing.T) {
+	check := guardGoroutines(t)
+	reg := obs.New()
+	clk := &fakeClock{fire: false} // backoff wait never completes
+	dial := func(addr string, timeout time.Duration) (netConn, error) {
+		return nil, errors.New("always down")
+	}
+	tr, err := NewTCP("127.0.0.1:0", Config{ID: "A", Clock: clk, Dial: dial, Queue: 4,
+		Obs: reg, Backoff: Backoff{Base: time.Millisecond, Max: time.Second}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.AddPeer("B", "down:1")
+	waitFor(t, func() bool { return len(clk.recorded()) >= 1 })
+
+	if got := gaugeVal(reg, "transport_peers_redialing"); got != 1 {
+		t.Fatalf("peers_redialing = %d with parked link, want 1", got)
+	}
+	if err := tr.Send("B", []byte("q1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Send("B", []byte("q2")); err != nil {
+		t.Fatal(err)
+	}
+	if got := gaugeVal(reg, "transport_queue_depth"); got != 2 {
+		t.Fatalf("queue_depth = %d with two parked frames, want 2", got)
+	}
+
+	tr.Close()
+	for _, name := range []string{
+		"transport_peers_down", "transport_peers_dialing", "transport_peers_up",
+		"transport_peers_redialing", "transport_peers_closed", "transport_queue_depth",
+	} {
+		if got := gaugeVal(reg, name); got != 0 {
+			t.Errorf("%s = %d after Close, want 0", name, got)
+		}
+	}
+	check()
+}

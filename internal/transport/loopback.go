@@ -94,6 +94,7 @@ func (l *Loopback) pump() {
 		case <-l.done:
 			return
 		case f := <-l.inbox:
+			l.ctr.queueDepth.Add(-1)
 			sender, payload, err := decodeEnvelope(f.payload)
 			if err != nil {
 				l.ctr.dropped.Inc()
@@ -126,6 +127,7 @@ func (l *Loopback) deliver(f loopFrame) bool {
 	}
 	select {
 	case l.inbox <- f:
+		l.ctr.queueDepth.Add(1)
 		return true
 	default:
 		return false
@@ -153,6 +155,7 @@ func (l *Loopback) AddPeer(id PeerID, addr string) error {
 	if _, ok := l.peers[id]; !ok {
 		ps := &peerStats{}
 		ps.state.Store(int32(StateUp))
+		l.ctr.track(ps)
 		l.peers[id] = ps
 	}
 	return nil
@@ -162,7 +165,8 @@ func (l *Loopback) AddPeer(id PeerID, addr string) error {
 func (l *Loopback) RemovePeer(id PeerID) {
 	l.mu.Lock()
 	if ps, ok := l.peers[id]; ok {
-		ps.state.Store(int32(StateClosed))
+		ps.setState(&l.ctr, StateClosed)
+		l.ctr.untrack(ps)
 		delete(l.peers, id)
 	}
 	l.mu.Unlock()
@@ -189,7 +193,7 @@ func (l *Loopback) Send(to PeerID, frame []byte) error {
 		// dropped with accounting, like a datagram to a dead host.
 		ps.dropped.Add(1)
 		l.ctr.dropped.Inc()
-		ps.state.Store(int32(StateDown))
+		ps.setState(&l.ctr, StateDown)
 		return nil
 	}
 	env := encodeEnvelope(l.id, frame)
@@ -199,7 +203,7 @@ func (l *Loopback) Send(to PeerID, frame []byte) error {
 		return ErrQueueFull
 	}
 	ps.sent.Add(1)
-	ps.state.Store(int32(StateUp))
+	ps.setState(&l.ctr, StateUp)
 	l.ctr.sent.Inc()
 	return nil
 }
@@ -228,7 +232,8 @@ func (l *Loopback) Close() error {
 	}
 	l.closed = true
 	for _, ps := range l.peers {
-		ps.state.Store(int32(StateClosed))
+		ps.setState(&l.ctr, StateClosed)
+		l.ctr.untrack(ps)
 	}
 	l.mu.Unlock()
 	l.sw.detach(l.id)
@@ -238,6 +243,7 @@ func (l *Loopback) Close() error {
 		select {
 		case <-l.inbox:
 			l.ctr.dropped.Inc()
+			l.ctr.queueDepth.Add(-1)
 		default:
 			return nil
 		}

@@ -203,6 +203,7 @@ func (t *TCP) AddPeer(id PeerID, addr string) error {
 		stop:  make(chan struct{}),
 	}
 	l.stats.state.Store(int32(StateDown))
+	t.ctr.track(&l.stats)
 	t.links[id] = l
 	l.wg.Add(1)
 	go l.run()
@@ -242,6 +243,7 @@ func (t *TCP) Send(to PeerID, frame []byte) error {
 	env := encodeEnvelope(t.cfg.ID, frame)
 	select {
 	case l.queue <- env:
+		t.ctr.queueDepth.Add(1)
 		return nil
 	default:
 		l.stats.overflows.Add(1)
@@ -304,8 +306,10 @@ func (l *tcpLink) shutdown() {
 		case <-l.queue:
 			l.stats.dropped.Add(1)
 			l.t.ctr.dropped.Inc()
+			l.t.ctr.queueDepth.Add(-1)
 		default:
-			l.stats.state.Store(int32(StateClosed))
+			l.stats.setState(&l.t.ctr, StateClosed)
+			l.t.ctr.untrack(&l.stats)
 			return
 		}
 	}
@@ -322,15 +326,15 @@ func (l *tcpLink) run() {
 		// Establish (or reestablish) the connection.
 		for conn == nil {
 			if failures == 0 {
-				l.stats.state.Store(int32(StateDialing))
+				l.stats.setState(&l.t.ctr, StateDialing)
 			} else {
-				l.stats.state.Store(int32(StateRedialing))
+				l.stats.setState(&l.t.ctr, StateRedialing)
 			}
 			c, err := l.dialOnce()
 			if err == nil {
 				conn = c
 				failures = 0
-				l.stats.state.Store(int32(StateUp))
+				l.stats.setState(&l.t.ctr, StateUp)
 				break
 			}
 			l.stats.setErr(err)
@@ -339,7 +343,7 @@ func (l *tcpLink) run() {
 				l.stats.redials.Add(1)
 				l.t.ctr.redials.Inc()
 			}
-			l.stats.state.Store(int32(StateRedialing))
+			l.stats.setState(&l.t.ctr, StateRedialing)
 			select {
 			case <-l.stop:
 				return
@@ -352,6 +356,7 @@ func (l *tcpLink) run() {
 			conn.Close()
 			return
 		case env := <-l.queue:
+			l.t.ctr.queueDepth.Add(-1)
 			if cfg.Faults != nil && cfg.Faults.resetConn(l.id) {
 				// Injected connection reset: the frame is lost with
 				// accounting and the link goes back through redial.
@@ -363,7 +368,7 @@ func (l *tcpLink) run() {
 				failures = 1
 				l.stats.redials.Add(1)
 				l.t.ctr.redials.Inc()
-				l.stats.state.Store(int32(StateRedialing))
+				l.stats.setState(&l.t.ctr, StateRedialing)
 				continue
 			}
 			hdr := make([]byte, 4, 4+len(env))
@@ -381,7 +386,7 @@ func (l *tcpLink) run() {
 				failures = 1
 				l.stats.redials.Add(1)
 				l.t.ctr.redials.Inc()
-				l.stats.state.Store(int32(StateRedialing))
+				l.stats.setState(&l.t.ctr, StateRedialing)
 				continue
 			}
 			l.stats.sent.Add(1)

@@ -303,6 +303,19 @@ func (p *peerStats) setErr(err error) {
 	}
 }
 
+// setState moves the peer to s and keeps the per-state population
+// gauges balanced: the old state's gauge decrements, the new one's
+// increments. The peer must have been tracked first; gauges are no-ops
+// without a registry.
+func (p *peerStats) setState(c *counters, s State) {
+	old := State(p.state.Swap(int32(s)))
+	if old == s {
+		return
+	}
+	c.stateG[old].Add(-1)
+	c.stateG[s].Add(1)
+}
+
 func (p *peerStats) status(addr string) Status {
 	st := Status{
 		State:     State(p.state.Load()),
@@ -324,17 +337,37 @@ func (p *peerStats) status(addr string) Status {
 // nil-safe like everything in internal/obs.
 type counters struct {
 	sent, received, dropped, overflow, redials *obs.Counter
+	// stateG[s] gauges how many registered peers currently sit in link
+	// state s (transport_peers_down/dialing/up/redialing/closed), kept
+	// balanced by track/untrack/setState. queueDepth gauges the frames
+	// currently held in this transport's bounded queues, incremented at
+	// enqueue and decremented when a pump drains (or a close drops) the
+	// frame. Under a Send racing a RemovePeer of the same peer the state
+	// gauges may momentarily drift; they are live ops signals, never
+	// inputs to anything deterministic.
+	stateG     [StateClosed + 1]*obs.Gauge
+	queueDepth *obs.Gauge
 }
 
 func newCounters(reg *obs.Registry) counters {
-	return counters{
-		sent:     reg.Counter("transport_sent"),
-		received: reg.Counter("transport_received"),
-		dropped:  reg.Counter("transport_dropped"),
-		overflow: reg.Counter("transport_overflow"),
-		redials:  reg.Counter("transport_redials"),
+	c := counters{
+		sent:       reg.Counter("transport_sent"),
+		received:   reg.Counter("transport_received"),
+		dropped:    reg.Counter("transport_dropped"),
+		overflow:   reg.Counter("transport_overflow"),
+		redials:    reg.Counter("transport_redials"),
+		queueDepth: reg.Gauge("transport_queue_depth"),
 	}
+	for s := StateDown; s <= StateClosed; s++ {
+		c.stateG[s] = reg.Gauge("transport_peers_" + s.String())
+	}
+	return c
 }
+
+// track registers a peer's current state with the population gauges;
+// untrack removes it (call after the final setState).
+func (c *counters) track(p *peerStats)   { c.stateG[State(p.state.Load())].Add(1) }
+func (c *counters) untrack(p *peerStats) { c.stateG[State(p.state.Load())].Add(-1) }
 
 // handlerCell holds the registered handler behind an atomic pointer so
 // read pumps never lock.

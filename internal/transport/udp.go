@@ -126,6 +126,7 @@ func (u *UDP) writePump(writeTimeout time.Duration) {
 		case <-u.done:
 			return
 		case s := <-u.sendq:
+			u.ctr.queueDepth.Add(-1)
 			u.conn.SetWriteDeadline(time.Now().Add(writeTimeout))
 			if _, err := u.conn.WriteToUDP(s.env, s.peer.addr); err != nil {
 				s.peer.stats.dropped.Add(1)
@@ -162,10 +163,13 @@ func (u *UDP) AddPeer(id PeerID, addr string) error {
 	p, ok := u.peers[id]
 	if !ok {
 		p = &udpPeer{}
+		p.stats.state.Store(int32(StateUp))
+		u.ctr.track(&p.stats)
 		u.peers[id] = p
+	} else {
+		p.stats.setState(&u.ctr, StateUp)
 	}
 	p.addr, p.str = ua, ua.String()
-	p.stats.state.Store(int32(StateUp))
 	return nil
 }
 
@@ -173,7 +177,8 @@ func (u *UDP) AddPeer(id PeerID, addr string) error {
 func (u *UDP) RemovePeer(id PeerID) {
 	u.mu.Lock()
 	if p, ok := u.peers[id]; ok {
-		p.stats.state.Store(int32(StateClosed))
+		p.stats.setState(&u.ctr, StateClosed)
+		u.ctr.untrack(&p.stats)
 		delete(u.peers, id)
 	}
 	u.mu.Unlock()
@@ -202,6 +207,7 @@ func (u *UDP) Send(to PeerID, frame []byte) error {
 	}
 	select {
 	case u.sendq <- udpSend{peer: p, env: env}:
+		u.ctr.queueDepth.Add(1)
 		return nil
 	default:
 		p.stats.overflows.Add(1)
@@ -234,7 +240,8 @@ func (u *UDP) Close() error {
 	}
 	u.closed = true
 	for _, p := range u.peers {
-		p.stats.state.Store(int32(StateClosed))
+		p.stats.setState(&u.ctr, StateClosed)
+		u.ctr.untrack(&p.stats)
 	}
 	u.mu.Unlock()
 	close(u.done)
@@ -245,6 +252,7 @@ func (u *UDP) Close() error {
 		case s := <-u.sendq:
 			s.peer.stats.dropped.Add(1)
 			u.ctr.dropped.Inc()
+			u.ctr.queueDepth.Add(-1)
 		default:
 			return nil
 		}
